@@ -1,0 +1,36 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables/figures at
+``BENCH_SCALE_FACTOR`` of paper size (override with the
+``REPRO_BENCH_SCALE_FACTOR`` environment variable; ``1`` reproduces the
+paper-sized instances if you have the patience), asserts the paper's
+qualitative shape on the result, and attaches the rendered table to the
+benchmark's ``extra_info`` so ``--benchmark-verbose`` output doubles as
+the experiment log.
+"""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from repro.harness.runner import ExperimentConfig
+
+BENCH_SCALE_FACTOR = int(os.environ.get("REPRO_BENCH_SCALE_FACTOR", "32"))
+BENCH_ROOTS = int(os.environ.get("REPRO_BENCH_ROOTS", "12"))
+
+
+@pytest.fixture(scope="session")
+def cfg() -> ExperimentConfig:
+    """The experiment configuration shared by all benchmarks."""
+    return ExperimentConfig(scale_factor=BENCH_SCALE_FACTOR,
+                            root_sample=BENCH_ROOTS, seed=0)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Execute an experiment exactly once under the benchmark timer
+    (the experiments are deterministic; repetition adds nothing)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Figure 1 (+ Figure 2 work counts).
+
+Paper shape: vertex 4 carries the highest score; vertices 8 and 9 score
+zero; iteration 2 of the BFS from vertex 4 needs only 4 threads under
+the work-efficient mapping versus one per vertex (9) or per directed
+edge (22) for the baselines.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.harness.experiments import figure1
+
+
+def test_figure1_example_scores(benchmark):
+    result = run_once(benchmark, figure1.run)
+    benchmark.extra_info["rendered"] = figure1.render(result)
+
+    assert result.argmax_paper_label == 4
+    assert result.bc[7] == pytest.approx(0.0)
+    assert result.bc[8] == pytest.approx(0.0)
+    # Scores are symmetric for the symmetric pair 1/3.
+    assert result.bc[0] == pytest.approx(result.bc[2])
+
+    assert result.threads_vertex_parallel == 9
+    assert result.threads_edge_parallel == 22
+    assert result.threads_work_efficient == 4
+    assert result.edges_needing_traversal < result.threads_edge_parallel

@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Figure 3 (vertex-frontier evolution).
+
+Paper shape: rgg / delaunay / luxembourg frontiers stay small (a few
+percent of n at peak) and evolve over many iterations; kron and
+smallworld balloon past ~40% of the graph within a handful of
+iterations — the split that motivates per-iteration strategy selection.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import figure3
+from repro.metrics.frontier import classify_frontier_shape
+
+
+def test_figure3_frontier_evolution(benchmark, cfg):
+    result = run_once(benchmark, figure3.run, cfg, roots_per_graph=3)
+    benchmark.extra_info["rendered"] = figure3.render(result)
+
+    assert len(result.series) == 15
+
+    for name in ("kron_g500-logn20", "smallworld"):
+        for evo in result.by_graph(name):
+            assert classify_frontier_shape(evo) == "ballooning"
+            assert evo.peak_percentage > 25.0
+            assert evo.num_levels < 15
+
+    for name in ("rgg_n_2_20", "delaunay_n20", "luxembourg.osm"):
+        for evo in result.by_graph(name):
+            assert classify_frontier_shape(evo) == "gradual"
+            assert evo.peak_percentage < 10.0
+            assert evo.num_levels > 20

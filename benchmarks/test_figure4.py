@@ -1,0 +1,44 @@
+"""Benchmark: regenerate Figure 4 (WE / hybrid / sampling vs EP).
+
+Paper shape: on road networks and meshes all three methods beat the
+edge-parallel baseline by about an order of magnitude with pure
+work-efficient fastest (the adaptive methods pay "the cost of
+generality"); on scale-free/small-world graphs work-efficient alone is
+slower than edge-parallel while hybrid and sampling sit at parity or
+slightly better.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import figure4
+
+HIGH_DIAMETER = ("af_shell9", "delaunay_n20", "luxembourg.osm")
+LOW_DIAMETER = ("caidaRouterLevel", "cnr-2000", "loc-gowalla", "smallworld")
+
+
+def test_figure4_strategy_comparison(benchmark, cfg):
+    result = run_once(benchmark, figure4.run, cfg)
+    benchmark.extra_info["rendered"] = figure4.render(result)
+
+    for name in ("af_shell9", "delaunay_n20"):
+        row = result.row(name)
+        assert row.speedup("work-efficient") > 4.0
+        assert row.speedup("sampling") > 4.0
+        # WE >= the adaptive methods on graphs where it is always right.
+        assert row.speedup("work-efficient") >= 0.95 * row.speedup("sampling")
+
+    for name in LOW_DIAMETER:
+        row = result.row(name)
+        # Pure WE pays the imbalance penalty...
+        assert row.speedup("work-efficient") < 1.3
+        # ...the adaptive methods do not collapse.
+        assert row.speedup("hybrid") > 0.5
+        assert row.speedup("sampling") > 0.5
+
+    # Asymmetric mispick costs (Section IV-B): choosing WE when EP is
+    # right loses at most ~2-3x; choosing EP when WE is right loses 10x+.
+    worst_we_on_lowdiam = min(result.row(n).speedup("work-efficient")
+                              for n in LOW_DIAMETER)
+    best_we_on_highdiam = max(result.row(n).speedup("work-efficient")
+                              for n in HIGH_DIAMETER)
+    assert best_we_on_highdiam > 1.0 / worst_we_on_lowdiam

@@ -1,0 +1,70 @@
+"""Benchmark: regenerate Figure 5 (scaling by problem size).
+
+Paper shape: sampling beats GPU-FAN by an order of magnitude on rgg at
+every scale and the gap grows with scale on delaunay; the Jia et al.
+reader rejects rgg/kron instances with isolated vertices; GPU-FAN's
+O(n^2) predecessors exhaust the 6 GB device at large scale while
+sampling keeps going; on small delaunay instances edge-parallel beats
+sampling (crossover near 10^4 vertices).
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import figure5
+from repro.harness.runner import ExperimentConfig
+
+
+def test_figure5_problem_size_scaling(benchmark):
+    cfg = ExperimentConfig(scale_factor=1, root_sample=8, seed=0)
+    result = run_once(benchmark, figure5.run, cfg, scales=range(10, 16))
+    benchmark.extra_info["rendered"] = figure5.render(result)
+
+    for fam in ("rgg", "delaunay", "kron"):
+        pts = result.family(fam)
+        assert len(pts) == 6
+        # Time grows with scale for the sampling method.
+        times = [p.sampling_seconds for p in pts]
+        assert times == sorted(times)
+
+    # Sampling vs GPU-FAN: "over 12x for all scales of rgg" (Fig 5a).
+    for p in result.family("rgg"):
+        assert isinstance(p.gpu_fan_seconds, float)
+        assert p.gpu_fan_seconds > 8 * p.sampling_seconds
+
+    # The edge-parallel gap grows with scale on delaunay (Fig 5b: "the
+    # speedup it achieves grows with the scale of the graph").
+    del_pts = result.family("delaunay")
+    ep_ratios = [p.edge_parallel_seconds / p.sampling_seconds
+                 for p in del_pts]
+    assert ep_ratios[-1] > ep_ratios[0]
+    assert ep_ratios[-1] > 2.0
+
+    # Jia reader limitation: kron has isolated vertices at every scale.
+    for p in result.family("kron"):
+        assert p.edge_parallel_seconds == figure5.READER_REJECTS
+
+    # Edge-parallel/sampling crossover on small delaunay instances.
+    small = del_pts[0]
+    big = del_pts[-1]
+    assert small.edge_parallel_seconds < small.sampling_seconds
+    assert big.edge_parallel_seconds > big.sampling_seconds
+
+
+def test_figure5_gpu_fan_oom_cliff(benchmark):
+    """GPU-FAN's missing data points: its predecessor matrix no longer
+    fits at scale 17 while the paper's O(n) method runs on."""
+    from repro.bc.gpu_fan import supports_graph
+    from repro.graph.generators import rgg_n_2
+    from repro.gpusim.memory import strategy_footprint
+    from repro.gpusim.spec import GTX_TITAN
+
+    def check():
+        g = rgg_n_2(17, seed=0)
+        fan_fits = supports_graph(g, GTX_TITAN.memory_bytes)
+        ours = sum(strategy_footprint(g, "work-efficient",
+                                      GTX_TITAN.num_sms).values())
+        return fan_fits, ours
+
+    fan_fits, ours_bytes = run_once(benchmark, check)
+    assert not fan_fits
+    assert ours_bytes < GTX_TITAN.memory_bytes // 10

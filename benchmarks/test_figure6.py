@@ -1,0 +1,38 @@
+"""Benchmark: regenerate Figure 6 (multi-GPU scaling by node count).
+
+Paper shape: speedup over one node approaches linear as the problem
+grows ("linear speedup is easily achievable if the problem size is
+sufficiently large"); at a fixed scale the denser families (kron, rgg)
+scale better than delaunay, whose small edge/vertex ratio gives each
+GPU the least work (paper: 50x / 40x / 35x at scale 16 on 64 nodes).
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import figure6
+from repro.harness.runner import ExperimentConfig
+
+
+def test_figure6_multi_gpu_scaling(benchmark):
+    cfg = ExperimentConfig(scale_factor=1, root_sample=12, seed=0)
+    result = run_once(benchmark, figure6.run, cfg,
+                      scales=(12, 14, 16), node_counts=(1, 4, 16, 64))
+    benchmark.extra_info["rendered"] = figure6.render(result)
+
+    for fam in ("delaunay", "rgg", "kron"):
+        # Speedup at 64 nodes grows monotonically with problem scale.
+        s64 = [result.curve(fam, sc).speedups()[-1] for sc in (12, 14, 16)]
+        assert s64[0] <= s64[1] <= s64[2]
+        # And never exceeds the node ratio.
+        for c in (result.curve(fam, sc) for sc in (12, 14, 16)):
+            for nodes, sp in zip(c.node_counts, c.speedups()):
+                assert sp <= nodes + 1e-9
+
+    # Density ordering at the largest scale: delaunay scales worst.
+    kron64 = result.curve("kron", 16).speedups()[-1]
+    rgg64 = result.curve("rgg", 16).speedups()[-1]
+    del64 = result.curve("delaunay", 16).speedups()[-1]
+    assert kron64 > del64
+    assert rgg64 > del64
+    # The big instances show a genuinely multi-node win.
+    assert kron64 > 4.0

@@ -1,0 +1,37 @@
+"""Benchmark: regenerate Table II (dataset structural statistics).
+
+Paper shape: the suite spans the structural classes the strategies
+discriminate on — road/mesh rows with near-uniform degree and large
+diameter, scale-free rows with extreme hubs and tiny diameter, and
+kron's isolated vertices.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import table2
+
+
+def test_table2_dataset_suite(benchmark, cfg):
+    result = run_once(benchmark, table2.run, cfg)
+    benchmark.extra_info["rendered"] = table2.render(result, cfg)
+
+    assert len(result.rows) == 10
+
+    lux = result.stats("luxembourg.osm")
+    assert lux.max_degree <= 6            # paper: 6
+    assert lux.num_edges < 1.3 * lux.num_vertices
+
+    kron = result.stats("kron_g500-logn20")
+    assert kron.max_degree > 0.02 * kron.num_vertices  # hub regime
+    assert kron.diameter <= 10            # paper: 6
+
+    af = result.stats("af_shell9")
+    assert 15 < af.num_edges / af.num_vertices < 30  # wide-stencil mesh
+
+    # Diameter split drives everything else in the paper.
+    high = min(result.stats(n).diameter
+               for n in ("af_shell9", "delaunay_n20", "luxembourg.osm",
+                         "rgg_n_2_20"))
+    low = max(result.stats(n).diameter
+              for n in ("kron_g500-logn20", "smallworld", "loc-gowalla"))
+    assert high > 2 * low

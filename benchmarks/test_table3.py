@@ -1,0 +1,42 @@
+"""Benchmark: regenerate Table III (edge-parallel vs sampling MTEPS).
+
+Paper shape (values at the paper's hardware/scale in parentheses):
+
+* sampling wins by roughly an order of magnitude on the high-diameter
+  rows — af_shell9 (13.31x), delaunay_n20 (10.23x), luxembourg (8.31x);
+* near-parity on the scale-free/small-world rows — caida (1.01x),
+  gowalla (1.05x), amazon (1.16x), smallworld (1.34x), cnr (1.56x);
+* geometric-mean speedup in the low single digits (2.71x).
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import table3
+
+
+def test_table3_sampling_vs_edge_parallel(benchmark, cfg):
+    result = run_once(benchmark, table3.run, cfg)
+    benchmark.extra_info["rendered"] = table3.render(result)
+    benchmark.extra_info["geomean_speedup"] = result.geomean_speedup
+
+    assert len(result.rows) == 8
+
+    # Order-of-magnitude wins on the high-diameter graphs.
+    assert result.row("af_shell9").speedup > 4.0
+    assert result.row("delaunay_n20").speedup > 4.0
+    assert result.row("luxembourg.osm").speedup > 1.0
+
+    # Parity band on the scale-free / small-world graphs.
+    for name in ("caidaRouterLevel", "cnr-2000", "com-amazon",
+                 "loc-gowalla", "smallworld"):
+        assert 0.6 < result.row(name).speedup < 3.0, name
+
+    # The headline number: geometric mean in the low single digits.
+    assert 1.5 < result.geomean_speedup < 6.0
+
+    # High-diameter rows beat every parity row (who-wins ordering).
+    parity_max = max(result.row(n).speedup
+                     for n in ("caidaRouterLevel", "loc-gowalla",
+                               "smallworld"))
+    assert result.row("af_shell9").speedup > parity_max
+    assert result.row("delaunay_n20").speedup > parity_max

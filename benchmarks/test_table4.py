@@ -1,0 +1,37 @@
+"""Benchmark: regenerate Table IV (multi-node GTEPS, 192 GPUs).
+
+Paper shape: kron posts the highest TEPS (24.13 GTEPS raw at the
+paper's scale) — inflated by its isolated vertices, adjusted ~18 GTEPS
+but still above rgg (8.25) and delaunay (9.37); all three families show
+large speedup over one node that grows with problem scale.
+"""
+
+from conftest import BENCH_SCALE_FACTOR, run_once
+
+from repro.harness.experiments import table4
+from repro.harness.runner import ExperimentConfig
+
+
+def test_table4_multi_node(benchmark):
+    cfg = ExperimentConfig(scale_factor=1, root_sample=12, seed=0)
+    scale = 15 if BENCH_SCALE_FACTOR <= 32 else 13
+    result = run_once(benchmark, table4.run, cfg, scale=scale)
+    benchmark.extra_info["rendered"] = table4.render(result)
+
+    kron = result.row("kron")
+    rgg = result.row("rgg")
+    delaunay = result.row("delaunay")
+
+    # kron highest TEPS, partly from isolated-vertex inflation.
+    assert kron.gteps_64 > rgg.gteps_64
+    assert kron.gteps_64 > delaunay.gteps_64
+    assert kron.isolated_vertices > 0
+    assert kron.adjusted_gteps_64 < kron.gteps_64
+    # Adjusted kron still at or above the mesh families (paper: 18 vs
+    # 8-9 GTEPS, "because the Kronecker graph ... utilizes the
+    # edge-parallel method").
+    assert kron.adjusted_gteps_64 > 0.8 * max(rgg.gteps_64,
+                                              delaunay.gteps_64)
+    # Meaningful multi-node speedup for every family at this scale.
+    for row in result.rows:
+        assert row.speedup_over_1 > 1.5

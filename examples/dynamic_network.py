@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Tracking centrality in an evolving network.
+
+The paper motivates normalised BC for "comparing discrete slices of a
+network that changes over time" (Section II-B) and the authors'
+companion work targets dynamic GPU graph analytics.  This example
+maintains exact BC scores of a growing social network *incrementally*:
+each new friendship triggers a source-filtered update
+(`repro.bc.dynamic`) instead of a full O(nm) recomputation, and the
+realised savings are reported.
+
+Run:  python examples/dynamic_network.py
+"""
+
+import numpy as np
+
+from repro import betweenness_centrality, normalize_bc
+from repro.bc.dynamic import insert_edge
+from repro.graph.generators import watts_strogatz
+
+
+def main() -> None:
+    g = watts_strogatz(500, k=4, p=0.02, seed=3)
+    bc = betweenness_centrality(g)
+    n = g.num_vertices
+    print(f"Initial network: {n} people, {g.num_edges} friendships")
+    print(f"Most central person: {int(np.argmax(bc))} "
+          f"(normalised score {normalize_bc(bc, n)[int(np.argmax(bc))]:.4f})")
+
+    rng = np.random.default_rng(9)
+    print("\nStreaming in 6 new friendships (triadic closure: friends of "
+          "friends connect):")
+    total_affected = 0
+    for step in range(6):
+        # Pick a friend-of-a-friend pair that is not yet connected —
+        # how real social ties overwhelmingly form.
+        while True:
+            u = int(rng.integers(0, n))
+            nbrs = g.neighbors(u)
+            if nbrs.size == 0:
+                continue
+            mid = int(nbrs[rng.integers(0, nbrs.size)])
+            two_hop = g.neighbors(mid)
+            v = int(two_hop[rng.integers(0, two_hop.size)])
+            if v != u and not np.any(g.neighbors(u) == v):
+                break
+        g, bc, stats = insert_edge(g, bc, u, v)
+        total_affected += stats.num_affected
+        leader = int(np.argmax(bc))
+        print(f"  +({u:3d},{v:3d}): {stats.num_affected:4d}/{n} roots "
+              f"recomputed ({stats.savings_fraction * 100:5.1f}% saved)  "
+              f"top person now {leader}")
+
+    # The incremental scores are exact — verify against a full run.
+    full = betweenness_centrality(g)
+    assert np.allclose(bc, full), "incremental must equal full recompute"
+    print(f"\nVerified: incremental scores identical to a full recompute.")
+    avg = total_affected / 6
+    print(f"Average update cost: {avg:.0f} roots vs {n} for a full run "
+          f"({(1 - avg / n) * 100:.0f}% cheaper) — locality of the new "
+          "edges determines the saving (equidistant endpoints cost zero).")
+
+
+if __name__ == "__main__":
+    main()

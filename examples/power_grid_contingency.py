@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Power-grid contingency analysis with betweenness centrality.
+
+The paper cites Jin et al.'s use of parallel BC for power-grid
+contingency analysis (Section I): buses whose removal reroutes or
+strands the most power flow are exactly the high-betweenness vertices.
+
+This example builds a grid-like transmission network (a sparse mesh
+with a few long-distance ties — structurally between the paper's road
+and mesh classes), ranks buses by BC, then *simulates the contingency*:
+knock out the top-BC bus and measure how connectivity and path lengths
+degrade, versus removing a random bus.
+
+Run:  python examples/power_grid_contingency.py [num_buses]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import betweenness_centrality
+from repro.bc.approx import approximate_bc
+from repro.graph.build import from_edges, induced_subgraph
+from repro.graph.generators import stencil_mesh
+from repro.graph.stats import connected_component_sizes
+from repro.graph.traversal import bfs
+
+
+def build_grid(n: int, seed: int = 0):
+    """Transmission grid: a sparse planar mesh plus a handful of
+    long-distance high-voltage ties."""
+    rng = np.random.default_rng(seed)
+    mesh = stencil_mesh(n, radius=1, aspect=2.0, seed=seed)
+    src = mesh.edge_sources()
+    keep = src < mesh.adj  # one direction
+    edges = np.column_stack([src[keep], mesh.adj[keep]])
+    # Thin the mesh heavily (grids are much sparser than FEM meshes)...
+    mask = rng.random(edges.shape[0]) < 0.45
+    edges = edges[mask]
+    # ...and add a handful of long-distance high-voltage ties.
+    ties = rng.integers(0, mesh.num_vertices, size=(mesh.num_vertices // 500, 2))
+    edges = np.concatenate([edges, ties], axis=0)
+    g = from_edges(edges, num_vertices=mesh.num_vertices, name="powergrid")
+    return g
+
+
+def largest_cc_fraction(g) -> float:
+    sizes = connected_component_sizes(g)
+    return float(sizes[0]) / g.num_vertices if sizes.size else 0.0
+
+
+def mean_path_length_sample(g, samples: int = 8, seed: int = 0) -> float:
+    rng = np.random.default_rng(seed)
+    totals = []
+    for _ in range(samples):
+        r = bfs(g, int(rng.integers(0, g.num_vertices)))
+        reach = r.distances[r.distances > 0]
+        if reach.size:
+            totals.append(float(reach.mean()))
+    return float(np.mean(totals)) if totals else float("inf")
+
+
+def contingency(g, victims):
+    """Remove buses; report connectivity + routing degradation."""
+    victims = set(int(v) for v in victims)
+    rest = [v for v in range(g.num_vertices) if v not in victims]
+    g2 = induced_subgraph(g, rest)
+    return largest_cc_fraction(g2), mean_path_length_sample(g2, seed=1)
+
+
+def main(n: int = 4_000) -> None:
+    g = build_grid(n, seed=11)
+    print(f"Transmission grid: {g.num_vertices} buses, {g.num_edges} lines, "
+          f"largest component {largest_cc_fraction(g) * 100:.1f}%")
+
+    # Rank buses by betweenness (exact for small grids, sampled otherwise).
+    if g.num_vertices <= 1500:
+        bc = betweenness_centrality(g)
+    else:
+        bc = approximate_bc(g, k=256, seed=2)
+    order = np.argsort(bc)[::-1]
+    print("\nTop 5 critical buses (N-1 contingency candidates):")
+    for rank, v in enumerate(order[:5], 1):
+        print(f"  #{rank}: bus {int(v)} (BC {bc[v]:.0f}, "
+              f"{g.degree(int(v))} lines)")
+
+    base_cc = largest_cc_fraction(g)
+    base_len = mean_path_length_sample(g, seed=1)
+    print(f"\nBaseline: {base_cc * 100:.1f}% connected, "
+          f"mean electrical path {base_len:.1f} hops")
+
+    k = 5
+    top = order[:k].tolist()
+    cc_top, len_top = contingency(g, top)
+    rng = np.random.default_rng(5)
+    rand = rng.choice(g.num_vertices, size=k, replace=False).tolist()
+    cc_rand, len_rand = contingency(g, rand)
+
+    print(f"\nN-{k} contingency — drop the {k} top-BC buses:")
+    print(f"  connectivity {cc_top * 100:.1f}%  mean path {len_top:.2f} hops")
+    print(f"N-{k} contingency — drop {k} random buses:")
+    print(f"  connectivity {cc_rand * 100:.1f}%  mean path {len_rand:.2f} hops")
+    print("\nThe top-BC outage stretches (or severs) far more routes — "
+          "which is why contingency screens rank buses by betweenness "
+          "before running expensive power-flow studies.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 4_000)

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Quickstart: exact betweenness centrality in a few lines.
+
+Recreates the paper's Figure 1 example — scoring every vertex of a
+small network, finding the cut vertex — then shows the simulated-GPU
+strategies producing identical scores with very different costs.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import betweenness_centrality, normalize_bc
+from repro.graph.generators import figure1_graph
+from repro.gpusim import Device, GTX_TITAN
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Exact BC on the paper's running example (Figure 1).
+    # ------------------------------------------------------------------
+    g = figure1_graph()
+    bc = betweenness_centrality(g)
+
+    print("Figure 1 example graph — BC per vertex (paper labels 1..9):")
+    for v, score in enumerate(bc):
+        bar = "#" * int(score)
+        print(f"  vertex {v + 1}: {score:5.2f}  {bar}")
+
+    top = int(np.argmax(bc)) + 1
+    print(f"\nMost central vertex: {top} (the cut vertex between the two "
+          "halves, exactly as the paper describes)")
+    zeros = [v + 1 for v, s in enumerate(bc) if s == 0]
+    print(f"Zero-BC vertices: {zeros} (on no shortest path between others)")
+
+    # Normalised scores are comparable across graphs of different sizes.
+    norm = normalize_bc(bc, g.num_vertices)
+    print(f"Normalised max score: {norm.max():.3f}")
+
+    # ------------------------------------------------------------------
+    # 2. The same computation on the simulated GTX Titan under each
+    #    parallelisation strategy: identical values, different cost.
+    # ------------------------------------------------------------------
+    print("\nSimulated GPU (GTX Titan, 14 SMs) — strategy comparison:")
+    device = Device(GTX_TITAN)
+    baseline = None
+    for strategy in ("edge-parallel", "work-efficient", "hybrid", "sampling"):
+        run = device.run_bc(g, strategy=strategy, n_samps=3)
+        assert np.allclose(run.bc, bc), "strategies must agree on values"
+        if baseline is None:
+            baseline = run.seconds
+        print(f"  {strategy:15s}: {run.seconds * 1e6:9.2f} simulated-us "
+              f"({baseline / run.seconds:5.2f}x vs edge-parallel)")
+
+    print("\nAll strategies return identical scores — they differ only in "
+          "how threads map to the traversal, which is what the paper is "
+          "about.  (On a 9-vertex toy the full edge sweep is nearly free, "
+          "so edge-parallel looks fine; run "
+          "examples/road_network_analysis.py to see it lose by 10x on a "
+          "high-diameter graph.)")
+
+
+if __name__ == "__main__":
+    main()

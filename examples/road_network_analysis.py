@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Road-network analysis: find critical intersections, fast.
+
+The paper's motivating result: on high-diameter graphs (road maps,
+meshes) the work-efficient method beats the edge-parallel baseline by
+an order of magnitude, because edge-parallel re-inspects every edge on
+every one of the ~diameter BFS iterations.
+
+This example builds a luxembourg.osm-like road network, ranks
+intersections by betweenness (the "bridges" whose closure disrupts the
+most routes — the paper cites exactly this use for urban planning and
+contingency analysis), and compares the strategies' simulated cost.
+
+Run:  python examples/road_network_analysis.py [num_vertices]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.bc.approx import approximate_bc
+from repro.graph.generators import road_network
+from repro.graph.stats import estimate_diameter
+from repro.gpusim import Device, GTX_TITAN
+from repro.harness.runner import pick_roots
+
+
+def main(n: int = 20_000) -> None:
+    g = road_network(n, seed=42)
+    diam = estimate_diameter(g, samples=4, seed=0)
+    print(f"Road network: {g.num_vertices} intersections, "
+          f"{g.num_edges} road segments, diameter ~{diam}")
+
+    # ------------------------------------------------------------------
+    # 1. Approximate BC (source sampling) is plenty to rank roads:
+    #    exact BC costs O(nm); 256 sampled roots gets the top ranks.
+    # ------------------------------------------------------------------
+    bc = approximate_bc(g, k=min(256, g.num_vertices), seed=1)
+    order = np.argsort(bc)[::-1]
+    print("\nTop 5 critical intersections (approximate BC):")
+    for rank, v in enumerate(order[:5], 1):
+        print(f"  #{rank}: intersection {int(v)} "
+              f"(score {bc[v]:.0f}, degree {g.degree(int(v))})")
+
+    # What fraction of intersections carry almost no through-traffic?
+    quiet = float((bc < 0.01 * bc.max()).mean()) * 100
+    print(f"{quiet:.0f}% of intersections lie on almost no shortest routes "
+          "(degree-2 chain interiors score low unless they bridge regions)")
+
+    # ------------------------------------------------------------------
+    # 2. Why the paper's method matters here: simulated strategy costs.
+    # ------------------------------------------------------------------
+    device = Device(GTX_TITAN)
+    roots = pick_roots(g, 12, seed=0)
+    print(f"\nSimulated GTX Titan cost over {roots.size} roots, "
+          "extrapolated to a full run:")
+    times = {}
+    for strategy in ("edge-parallel", "work-efficient", "sampling"):
+        run = device.run_bc(g, strategy=strategy, roots=roots,
+                            n_samps=max(1, roots.size // 3))
+        times[strategy] = run.extrapolated_seconds()
+        print(f"  {strategy:15s}: {times[strategy]:8.2f} simulated-s "
+              f"({run.extrapolated_mteps():7.1f} MTEPS)")
+    speedup = times["edge-parallel"] / times["work-efficient"]
+    print(f"\nWork-efficient speedup over edge-parallel: {speedup:.1f}x — "
+          "the high-diameter regime of the paper's Table III "
+          "(luxembourg.osm: 8.31x at full scale).")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 20_000)

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Social-network influence and community bridges.
+
+BC was invented in the social sciences to find people "central to
+networks who could influence others by withholding or altering
+information" (paper Section II-B).  This example builds a
+loc-gowalla-like geosocial network and contrasts two centrality
+notions:
+
+* **degree** — who has the most friends (hubs), versus
+* **betweenness** — who *brokers* between groups (bridges).
+
+It then shows why the adaptive strategies matter on this graph class:
+the frontier balloons after two hops (Figure 3's small-world shape), so
+the sampling method switches to edge-parallel mid-traversal.
+
+Run:  python examples/social_network_influence.py [num_vertices]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.bc.approx import approximate_bc
+from repro.graph.generators import geosocial_graph
+from repro.metrics.frontier import classify_frontier_shape, frontier_evolution
+from repro.gpusim import Device, GTX_TITAN
+from repro.harness.runner import pick_roots
+
+
+def main(n: int = 15_000) -> None:
+    g = geosocial_graph(n, exponent=2.25, min_degree=4,
+                        hub_fraction_of_n=0.08, locality=0.6,
+                        locality_window=0.01, seed=7)
+    print(f"Geosocial network: {g.num_vertices} users, {g.num_edges} "
+          f"friendships, biggest hub has {g.max_degree} friends")
+
+    # ------------------------------------------------------------------
+    # 1. Hubs vs brokers.
+    # ------------------------------------------------------------------
+    bc = approximate_bc(g, k=min(192, n), seed=3)
+    deg = g.degrees
+    top_deg = set(np.argsort(deg)[::-1][:20].tolist())
+    top_bc = set(np.argsort(bc)[::-1][:20].tolist())
+    overlap = len(top_deg & top_bc)
+    print(f"\nTop-20 by degree vs top-20 by betweenness: {overlap} users "
+          "in common.")
+    brokers = sorted(top_bc - top_deg, key=lambda v: -bc[v])[:5]
+    if brokers:
+        print("Brokers (high betweenness, modest degree — they connect "
+              "regions rather than crowds):")
+        for v in brokers:
+            print(f"  user {int(v)}: degree {int(deg[v])}, "
+                  f"BC score {bc[v]:.0f}")
+
+    # ------------------------------------------------------------------
+    # 2. The small-world frontier shape that drives the hybrid strategy.
+    # ------------------------------------------------------------------
+    root = int(np.argsort(deg)[len(deg) // 2])  # a typical user
+    evo = frontier_evolution(g, root)
+    print(f"\nBFS frontier from user {root}: "
+          f"{[int(s) for s in evo.sizes.tolist()]}")
+    print(f"Peak frontier: {evo.peak_percentage:.1f}% of the network "
+          f"after {int(np.argmax(evo.sizes))} hops "
+          f"-> classified '{classify_frontier_shape(evo)}'")
+
+    # ------------------------------------------------------------------
+    # 3. Strategy choice on this structure (simulated GPU).
+    # ------------------------------------------------------------------
+    device = Device(GTX_TITAN)
+    roots = pick_roots(g, 12, seed=0)
+    run = device.run_bc(g, strategy="sampling", roots=roots, n_samps=4,
+                        min_frontier=64)
+    print(f"\nSampling method classified the graph as small-world: "
+          f"{run.sampling_chose_edge_parallel}")
+    used = set()
+    for rt in run.trace.roots:
+        used.update(rt.strategies_used())
+    print(f"Per-iteration strategies used across roots: {sorted(used)}")
+    ep = device.run_bc(g, strategy="edge-parallel", roots=roots)
+    we = device.run_bc(g, strategy="work-efficient", roots=roots)
+    print(f"Simulated cost — edge-parallel {ep.extrapolated_seconds():.2f}s, "
+          f"work-efficient {we.extrapolated_seconds():.2f}s, "
+          f"sampling {run.extrapolated_seconds():.2f}s")
+    print("On ballooning frontiers the work-efficient method's load "
+          "imbalance bites; the adaptive methods stay at edge-parallel "
+          "parity or better (paper Figure 4).")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 15_000)

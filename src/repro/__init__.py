@@ -1,0 +1,53 @@
+"""repro — reproduction of "Scalable and High Performance Betweenness
+Centrality on the GPU" (McLaughlin & Bader, SC 2014).
+
+Quickstart
+----------
+>>> from repro import betweenness_centrality
+>>> from repro.graph.generators import figure1_graph
+>>> bc = betweenness_centrality(figure1_graph())
+
+Simulated-GPU performance runs:
+
+>>> from repro.gpusim import Device, GTX_TITAN
+>>> run = Device(GTX_TITAN).run_bc(figure1_graph(), strategy="sampling")
+>>> run.bc.shape
+(9,)
+"""
+
+from .bc.api import betweenness_centrality
+from .bc.approx import approximate_bc
+from .bc.brandes import brandes_reference, normalize_bc
+from .errors import (
+    ClusterConfigurationError,
+    CommunicatorError,
+    DeviceConfigurationError,
+    DeviceOutOfMemoryError,
+    GraphFormatError,
+    GraphStructureError,
+    ReproError,
+    StrategyError,
+)
+from .graph.csr import CSRGraph
+from .graph.build import from_edges, from_networkx
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "betweenness_centrality",
+    "approximate_bc",
+    "brandes_reference",
+    "normalize_bc",
+    "CSRGraph",
+    "from_edges",
+    "from_networkx",
+    "ReproError",
+    "GraphFormatError",
+    "GraphStructureError",
+    "DeviceOutOfMemoryError",
+    "DeviceConfigurationError",
+    "StrategyError",
+    "ClusterConfigurationError",
+    "CommunicatorError",
+]

@@ -1,0 +1,104 @@
+"""Serial reference implementation of Brandes's algorithm.
+
+This is the ground truth every simulated kernel is validated against:
+a direct, readable transcription of Brandes (2001) using explicit
+Python loops and a FIFO queue.  O(mn) for unweighted graphs.  Use
+:func:`repro.bc.betweenness_centrality` for anything performance
+sensitive; this module optimises for audit-ability.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+
+__all__ = ["brandes_reference", "brandes_single_source", "normalize_bc"]
+
+
+def brandes_single_source(g: CSRGraph, s: int):
+    """One root's shortest-path DAG: ``(distances, sigma, order)``.
+
+    ``order`` is the non-decreasing-distance visit order (the stack S of
+    Brandes's algorithm, front to back).
+    """
+    n = g.num_vertices
+    d = np.full(n, -1, dtype=np.int64)
+    sigma = np.zeros(n, dtype=np.float64)
+    d[s] = 0
+    sigma[s] = 1.0
+    order = []
+    q = deque([s])
+    while q:
+        v = q.popleft()
+        order.append(v)
+        for w in g.neighbors(v):
+            w = int(w)
+            if d[w] < 0:
+                d[w] = d[v] + 1
+                q.append(w)
+            if d[w] == d[v] + 1:
+                sigma[w] += sigma[v]
+    return d, sigma, order
+
+
+def brandes_reference(
+    g: CSRGraph, sources=None, normalized: bool = False
+) -> np.ndarray:
+    """Exact betweenness centrality by Brandes's two-stage algorithm.
+
+    Parameters
+    ----------
+    sources:
+        Roots to accumulate over (all vertices by default — the exact
+        computation).  Passing a subset gives the unscaled sampled
+        approximation the paper mentions in Section V-A.
+    normalized:
+        Divide by the maximum possible value (n-1)(n-2) — for
+        undirected graphs the pair count is halved, matching NetworkX.
+
+    Returns
+    -------
+    ``float64`` array of BC scores.  For undirected graphs each
+    unordered pair is counted once (scores halved), as in Figure 1.
+    """
+    n = g.num_vertices
+    bc = np.zeros(n, dtype=np.float64)
+    if sources is None:
+        sources = range(n)
+    for s in sources:
+        s = int(s)
+        d, sigma, order = brandes_single_source(g, s)
+        delta = np.zeros(n, dtype=np.float64)
+        for w in reversed(order):
+            # Successor formulation (Eq. 2): scan w's out-neighbours one
+            # level further from the root.  Correct for directed graphs
+            # too, where w's out-neighbourhood holds its successors but
+            # not necessarily its predecessors.
+            for v in g.neighbors(w):
+                v = int(v)
+                if d[v] == d[w] + 1:
+                    delta[w] += sigma[w] / sigma[v] * (1.0 + delta[v])
+            if w != s:
+                bc[w] += delta[w]
+    if g.undirected:
+        bc /= 2.0
+    if normalized:
+        bc = normalize_bc(bc, n, undirected=g.undirected, copy=False)
+    return bc
+
+
+def normalize_bc(bc: np.ndarray, n: int, undirected: bool = True,
+                 copy: bool = True) -> np.ndarray:
+    """Scale scores by their largest possible value, (n-1)(n-2)
+    [halved for undirected graphs], as in Section II-B."""
+    out = np.array(bc, dtype=np.float64, copy=copy)
+    if n <= 2:
+        return out * 0.0
+    scale = (n - 1) * (n - 2)
+    if undirected:
+        scale /= 2.0
+    out /= scale
+    return out

@@ -1,0 +1,160 @@
+"""Incremental betweenness centrality under edge updates.
+
+The authors' companion work (McLaughlin & Bader, "Revisiting Edge and
+Node Parallelism for Dynamic GPU Graph Analytics", IPDPSW 2014 — the
+paper's reference [27]) motivates exactly this: maintaining BC scores
+of a network "that changes over time" without recomputing all n roots.
+
+The classic *source-filtering* observation makes updates exact and
+often cheap: for an undirected edge {u, v},
+
+* if ``d(s, u) == d(s, v)`` the edge joins two vertices on the same BFS
+  level of root ``s``, so it lies on **no** shortest path from ``s`` —
+  neither inserting nor deleting it can change ``delta_s``;
+* otherwise root ``s`` is *affected* and its dependency contribution
+  must be swapped (subtract the old graph's ``delta_s``, add the new
+  one).
+
+Two BFS runs (from ``u`` and from ``v``) identify the affected set, so
+an update costs ``O((|affected| + 2) * m)`` instead of ``O(n * m)``.
+For localised edits on high-diameter graphs the affected set is a small
+fraction of the roots; the :class:`UpdateStats` returned with every
+update reports the realised saving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import GraphStructureError
+from ..graph.build import from_edges
+from ..graph.csr import CSRGraph
+from ..graph.traversal import bfs_distances
+from .api import bc_single_source_dependencies
+
+__all__ = ["UpdateStats", "affected_sources", "insert_edge", "delete_edge"]
+
+
+@dataclass(frozen=True)
+class UpdateStats:
+    """Cost accounting for one incremental update."""
+
+    num_sources: int
+    num_affected: int
+    edge: tuple
+
+    @property
+    def affected_fraction(self) -> float:
+        """Fraction of roots that had to be recomputed."""
+        if self.num_sources == 0:
+            return 0.0
+        return self.num_affected / self.num_sources
+
+    @property
+    def savings_fraction(self) -> float:
+        """Fraction of the full recomputation that was skipped."""
+        return 1.0 - self.affected_fraction
+
+
+def _has_edge(g: CSRGraph, u: int, v: int) -> bool:
+    return bool(np.any(g.neighbors(u) == v))
+
+
+def affected_sources(g: CSRGraph, u: int, v: int) -> np.ndarray:
+    """Roots whose dependency vector can change when {u, v} is toggled.
+
+    A root ``s`` is affected iff ``d(s, u) != d(s, v)`` (with
+    unreachable treated as infinity).  Exactness follows from the
+    level-equality argument in the module docstring.
+    """
+    n = g.num_vertices
+    du = bfs_distances(g, u).astype(np.float64)
+    dv = bfs_distances(g, v).astype(np.float64)
+    du[du < 0] = np.inf
+    dv[dv < 0] = np.inf
+    # d(s, x) == d(x, s) on an undirected graph.
+    both_inf = np.isinf(du) & np.isinf(dv)
+    differ = du != dv
+    return np.flatnonzero(differ & ~both_inf)
+
+
+def _swap_contributions(g_old: CSRGraph, g_new: CSRGraph, bc: np.ndarray,
+                        sources: np.ndarray) -> np.ndarray:
+    out = np.array(bc, dtype=np.float64, copy=True)
+    half = 0.5 if g_old.undirected else 1.0
+    for s in sources:
+        out -= half * bc_single_source_dependencies(g_old, int(s))
+        out += half * bc_single_source_dependencies(g_new, int(s))
+    return out
+
+
+def _edit_graph(g: CSRGraph, u: int, v: int, insert: bool) -> CSRGraph:
+    src = g.edge_sources()
+    mask = src < g.adj
+    edges = np.column_stack([src[mask], g.adj[mask]])
+    if insert:
+        edges = np.concatenate([edges, [[min(u, v), max(u, v)]]], axis=0)
+    else:
+        a, b = min(u, v), max(u, v)
+        keep = ~((edges[:, 0] == a) & (edges[:, 1] == b))
+        edges = edges[keep]
+    return from_edges(edges, num_vertices=g.num_vertices, undirected=True,
+                      name=g.name)
+
+
+def _validated(g: CSRGraph, u: int, v: int) -> tuple:
+    if not g.undirected:
+        raise GraphStructureError("incremental updates require an "
+                                  "undirected graph")
+    u, v = int(u), int(v)
+    n = g.num_vertices
+    if not (0 <= u < n and 0 <= v < n):
+        raise IndexError(f"endpoints ({u}, {v}) out of range [0, {n})")
+    if u == v:
+        raise GraphStructureError("self loops are not supported")
+    return u, v
+
+
+def insert_edge(g: CSRGraph, bc: np.ndarray, u: int, v: int):
+    """Insert undirected edge {u, v} and update ``bc`` exactly.
+
+    Parameters
+    ----------
+    bc:
+        The current exact BC vector of ``g`` (unnormalised, undirected
+        halved — i.e. what :func:`repro.bc.betweenness_centrality`
+        returns).
+
+    Returns
+    -------
+    ``(new_graph, new_bc, stats)``.
+    """
+    u, v = _validated(g, u, v)
+    if _has_edge(g, u, v):
+        raise GraphStructureError(f"edge ({u}, {v}) already present")
+    sources = affected_sources(g, u, v)
+    g_new = _edit_graph(g, u, v, insert=True)
+    bc_new = _swap_contributions(g, g_new, bc, sources)
+    return g_new, bc_new, UpdateStats(num_sources=g.num_vertices,
+                                      num_affected=int(sources.size),
+                                      edge=(u, v))
+
+
+def delete_edge(g: CSRGraph, bc: np.ndarray, u: int, v: int):
+    """Delete undirected edge {u, v} and update ``bc`` exactly.
+
+    For an existing edge the BFS distance constraint guarantees
+    ``|d(s,u) - d(s,v)| <= 1``; only the ``== 1`` roots (where the edge
+    sits inside the shortest-path DAG) are affected.
+    """
+    u, v = _validated(g, u, v)
+    if not _has_edge(g, u, v):
+        raise GraphStructureError(f"edge ({u}, {v}) not present")
+    sources = affected_sources(g, u, v)
+    g_new = _edit_graph(g, u, v, insert=False)
+    bc_new = _swap_contributions(g, g_new, bc, sources)
+    return g_new, bc_new, UpdateStats(num_sources=g.num_vertices,
+                                      num_affected=int(sources.size),
+                                      edge=(u, v))

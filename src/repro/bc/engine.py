@@ -1,0 +1,131 @@
+"""Per-root execution engine: values + cost charging + tracing.
+
+One call to :func:`run_root` performs the full Brandes computation for
+one source (shortest-path stage then dependency accumulation),
+accumulates the dependencies into a shared ``bc`` array, and returns a
+:class:`~repro.gpusim.trace.RootTrace` whose per-level cycle charges
+come from the cost model under the strategy the policy selected for
+each iteration.
+
+Every strategy computes identical values — the strategies differ only
+in the thread-to-work assignment being costed — so correctness is
+verified once against the serial reference and literal kernel
+re-implementations, while performance comparisons come from the
+charged cycles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import StrategyError
+from ..graph.csr import CSRGraph
+from ..gpusim.cost import CostModel
+from ..gpusim.trace import LevelTrace, RootTrace
+from .accumulation import accumulate_level
+from .frontier import forward_sweep
+from .policies import (
+    EDGE_PARALLEL,
+    GPU_FAN,
+    VERTEX_PARALLEL,
+    WORK_EFFICIENT,
+    Policy,
+)
+
+__all__ = ["run_root"]
+
+
+def run_root(
+    g: CSRGraph,
+    source: int,
+    bc: np.ndarray,
+    policy: Policy,
+    costs: CostModel,
+    chunk: int,
+    device_chunk: int | None = None,
+) -> RootTrace:
+    """Process one BC root under ``policy``, charging ``costs``.
+
+    Parameters
+    ----------
+    bc:
+        Shared accumulator; this root's dependencies are added in place
+        (the per-GPU partial score vector of Section V-D).
+    chunk:
+        Effective concurrent threads of one SM (thread block width the
+        serialisation model chunks against).
+    device_chunk:
+        Device-wide concurrency, required for the ``gpu-fan`` strategy
+        (all SMs cooperate on a single root).
+    """
+    n = g.num_vertices
+    m_dir = g.num_directed_edges
+    deg = g.degrees
+    trace = RootTrace(root=int(source))
+    strategy_by_depth: dict[int, str] = {}
+
+    def _forward_cost(strategy: str, frontier: np.ndarray, ef: int) -> float:
+        fdeg = deg[frontier]
+        if strategy == WORK_EFFICIENT:
+            return costs.we_forward(fdeg, chunk)
+        if strategy == EDGE_PARALLEL:
+            return costs.ep_forward(m_dir, ef, chunk)
+        if strategy == VERTEX_PARALLEL:
+            masked = np.zeros(n, dtype=np.int64)
+            masked[frontier] = fdeg
+            return costs.vp_forward(n, masked, chunk)
+        if strategy == GPU_FAN:
+            if device_chunk is None:
+                raise StrategyError("gpu-fan strategy requires device_chunk")
+            return costs.gpu_fan_forward(m_dir, ef, device_chunk)
+        raise StrategyError(f"unknown strategy {strategy!r}")
+
+    def _backward_cost(strategy: str, level: np.ndarray, ef: int) -> float:
+        ldeg = deg[level]
+        if strategy == WORK_EFFICIENT:
+            return costs.we_backward(ldeg, chunk)
+        if strategy == EDGE_PARALLEL:
+            return costs.ep_backward(m_dir, ef, chunk)
+        if strategy == VERTEX_PARALLEL:
+            masked = np.zeros(n, dtype=np.int64)
+            masked[level] = ldeg
+            return costs.vp_backward(n, masked, chunk)
+        if strategy == GPU_FAN:
+            return costs.gpu_fan_backward(m_dir, ef, device_chunk)
+        raise StrategyError(f"unknown strategy {strategy!r}")
+
+    state = {"strategy": policy.initial()}
+
+    def on_forward_level(depth: int, frontier: np.ndarray, q_next_len: int) -> None:
+        strategy = state["strategy"]
+        ef = int(deg[frontier].sum())
+        cycles = _forward_cost(strategy, frontier, ef)
+        trace.add(LevelTrace(depth=depth, stage="forward", strategy=strategy,
+                             frontier_size=int(frontier.size),
+                             edge_frontier=ef, cycles=cycles))
+        strategy_by_depth[depth] = strategy
+        state["strategy"] = policy.next_strategy(
+            strategy, int(frontier.size), q_next_len
+        )
+
+    fwd = forward_sweep(g, source, on_level=on_forward_level)
+
+    # Stage 2 — dependency accumulation, deepest-but-one level first,
+    # each level charged under the strategy that produced it.
+    delta = np.zeros(n, dtype=np.float64)
+    scales = fwd.level_scales
+    for depth in range(len(fwd.levels) - 2, 0, -1):
+        level = fwd.levels[depth]
+        ratio_scale = 1.0
+        if scales is not None and depth + 1 < scales.size:
+            ratio_scale = 1.0 / scales[depth + 1]
+        accumulate_level(g, level, fwd.distances, fwd.sigma, delta,
+                         sigma_ratio_scale=ratio_scale)
+        strategy = strategy_by_depth[depth]
+        ef = int(deg[level].sum())
+        cycles = _backward_cost(strategy, level, ef)
+        trace.add(LevelTrace(depth=depth, stage="backward", strategy=strategy,
+                             frontier_size=int(level.size),
+                             edge_frontier=ef, cycles=cycles))
+    bc += delta
+    return trace

@@ -1,0 +1,43 @@
+"""Hybrid strategy selection (Algorithm 4).
+
+The hybrid method keeps whatever strategy is in force until the vertex
+frontier *changes* by more than ``alpha`` elements between iterations;
+at that point it re-selects: edge-parallel when the upcoming frontier
+exceeds ``beta`` vertices, work-efficient otherwise.  See
+:class:`repro.bc.policies.HybridPolicy` for the decision rule itself;
+this module adds the paper's defaults and a standalone helper mirroring
+the pseudocode for testability.
+"""
+
+from __future__ import annotations
+
+from .policies import EDGE_PARALLEL, WORK_EFFICIENT, HybridPolicy
+
+__all__ = ["DEFAULT_ALPHA", "DEFAULT_BETA", "select_strategy", "HybridPolicy"]
+
+#: Paper Section IV-B: "we found the values of 768 and 512 were the best
+#: choices for alpha and beta".
+DEFAULT_ALPHA = 768
+DEFAULT_BETA = 512
+
+
+def select_strategy(
+    current: str,
+    q_curr_len: int,
+    q_next_len: int,
+    alpha: int = DEFAULT_ALPHA,
+    beta: int = DEFAULT_BETA,
+) -> str:
+    """Algorithm 4 as a pure function.
+
+    >>> select_strategy("work-efficient", 10, 20)
+    'work-efficient'
+    >>> select_strategy("work-efficient", 10, 2000)
+    'edge-parallel'
+    >>> select_strategy("edge-parallel", 5000, 100)
+    'work-efficient'
+    """
+    q_change = abs(int(q_next_len) - int(q_curr_len))
+    if q_change <= alpha:
+        return current
+    return EDGE_PARALLEL if int(q_next_len) > beta else WORK_EFFICIENT

@@ -1,0 +1,111 @@
+"""Per-iteration parallelisation-strategy policies.
+
+A policy decides, for every BFS iteration of every root, whether the
+level is processed with the work-efficient, edge-parallel or
+vertex-parallel thread assignment.  The engine asks for an initial
+strategy, then calls :meth:`next_strategy` after each completed level
+with the current and next frontier sizes — exactly the information
+Algorithm 4 uses.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from ..errors import StrategyError
+
+__all__ = [
+    "WORK_EFFICIENT",
+    "EDGE_PARALLEL",
+    "VERTEX_PARALLEL",
+    "GPU_FAN",
+    "Policy",
+    "FixedPolicy",
+    "HybridPolicy",
+    "FrontierGuardPolicy",
+]
+
+WORK_EFFICIENT = "work-efficient"
+EDGE_PARALLEL = "edge-parallel"
+VERTEX_PARALLEL = "vertex-parallel"
+GPU_FAN = "gpu-fan"
+
+_KNOWN = {WORK_EFFICIENT, EDGE_PARALLEL, VERTEX_PARALLEL, GPU_FAN}
+
+
+class Policy(ABC):
+    """Strategy-selection protocol used by the per-root engine."""
+
+    @abstractmethod
+    def initial(self) -> str:
+        """Strategy for the first iteration (frontier = the root)."""
+
+    @abstractmethod
+    def next_strategy(self, current: str, q_curr_len: int, q_next_len: int) -> str:
+        """Strategy for the next iteration, given the just-finished
+        level's frontier length and the upcoming frontier length."""
+
+
+class FixedPolicy(Policy):
+    """Always use one strategy (the non-adaptive baselines)."""
+
+    def __init__(self, strategy: str):
+        if strategy not in _KNOWN:
+            raise StrategyError(f"unknown strategy {strategy!r}; known: {sorted(_KNOWN)}")
+        self.strategy = strategy
+
+    def initial(self) -> str:
+        return self.strategy
+
+    def next_strategy(self, current: str, q_curr_len: int, q_next_len: int) -> str:
+        return self.strategy
+
+
+class HybridPolicy(Policy):
+    """Algorithm 4: reconsider only when the frontier size *changes*
+    substantially.
+
+    If ``|Q_next - Q_curr| <= alpha`` the current strategy is kept;
+    otherwise edge-parallel is selected when the upcoming frontier
+    exceeds ``beta``, else work-efficient.  The paper found
+    alpha = 768, beta = 512 best on its hardware, and starts
+    work-efficient because a mistaken edge-parallel start costs far
+    more (>10x) than a mistaken work-efficient one (2.2x).
+    """
+
+    def __init__(self, alpha: int = 768, beta: int = 512):
+        if alpha < 0 or beta < 0:
+            raise StrategyError("alpha and beta must be non-negative")
+        self.alpha = int(alpha)
+        self.beta = int(beta)
+
+    def initial(self) -> str:
+        return WORK_EFFICIENT
+
+    def next_strategy(self, current: str, q_curr_len: int, q_next_len: int) -> str:
+        q_change = abs(int(q_next_len) - int(q_curr_len))
+        if q_change <= self.alpha:
+            return current
+        return EDGE_PARALLEL if q_next_len > self.beta else WORK_EFFICIENT
+
+
+class FrontierGuardPolicy(Policy):
+    """Edge-parallel with the sampling method's per-iteration guard.
+
+    When Algorithm 5 selects the edge-parallel method for a graph, the
+    paper still refuses to use it on iterations with trivial work: the
+    vertex frontier must hold at least ``min_frontier`` (512) elements,
+    a parameter "designed to scale with the architecture rather than
+    the size or structure of the graph".
+    """
+
+    def __init__(self, min_frontier: int = 512):
+        if min_frontier < 0:
+            raise StrategyError("min_frontier must be non-negative")
+        self.min_frontier = int(min_frontier)
+
+    def initial(self) -> str:
+        return WORK_EFFICIENT  # the first frontier is just the root
+
+    def next_strategy(self, current: str, q_curr_len: int, q_next_len: int) -> str:
+        return EDGE_PARALLEL if q_next_len >= self.min_frontier else WORK_EFFICIENT

@@ -1,0 +1,69 @@
+"""Command-line interface: ``python -m repro <experiment> [options]``.
+
+Regenerates any of the paper's tables/figures as plain text, e.g.::
+
+    python -m repro table3 --scale-factor 32 --roots 24
+    python -m repro figure5 --scales 10 11 12 13 14
+    python -m repro all
+
+``--scale-factor`` divides the paper's dataset sizes (64 by default);
+``--roots`` sets how many BC roots are executed per run before
+extrapolation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .harness.experiments import EXPERIMENTS
+from .harness.runner import ExperimentConfig
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bc",
+        description="Regenerate tables/figures of McLaughlin & Bader, SC 2014",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which table/figure to regenerate (or 'all')",
+    )
+    parser.add_argument("--scale-factor", type=int, default=64,
+                        help="divide paper-scale dataset sizes by this (default 64)")
+    parser.add_argument("--roots", type=int, default=24,
+                        help="BC roots to execute per run (default 24)")
+    parser.add_argument("--seed", type=int, default=0, help="generator seed")
+    parser.add_argument("--scales", type=int, nargs="+", default=None,
+                        help="scale sweep for figure5/figure6/table4")
+    return parser
+
+
+def _render(name: str, cfg: ExperimentConfig, scales) -> str:
+    module = EXPERIMENTS[name]
+    kwargs = {}
+    if scales is not None and name in ("figure5", "figure6"):
+        kwargs["scales"] = scales
+    if scales is not None and name == "table4":
+        kwargs["scale"] = scales[0]
+    if name == "figure1":
+        return module.render()
+    return module.render(None, cfg, **kwargs) if kwargs else module.render(None, cfg)
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    cfg = ExperimentConfig(scale_factor=args.scale_factor,
+                           root_sample=args.roots, seed=args.seed)
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        print(_render(name, cfg, args.scales))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

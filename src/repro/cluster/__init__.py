@@ -1,0 +1,27 @@
+"""Multi-node substrate: interconnect/topology models, MPI-like
+communicator, distributed BC."""
+
+from .distributed import (
+    ClusterRun,
+    distributed_bc_values,
+    partition_roots,
+    scaling_sweep,
+    simulate_distributed_run,
+)
+from .interconnect import INFINIBAND_QDR, PCIE2_X16, LinkModel
+from .mpi_sim import SimComm
+from .topology import ClusterSpec, kids
+
+__all__ = [
+    "LinkModel",
+    "INFINIBAND_QDR",
+    "PCIE2_X16",
+    "ClusterSpec",
+    "kids",
+    "SimComm",
+    "partition_roots",
+    "distributed_bc_values",
+    "ClusterRun",
+    "simulate_distributed_run",
+    "scaling_sweep",
+]

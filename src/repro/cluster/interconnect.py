@@ -1,0 +1,63 @@
+"""Interconnect models for the simulated cluster.
+
+KIDS (Keeneland Initial Delivery System, Section V-A) connects nodes
+with Infiniband QDR and attaches three Tesla M2090s per node over
+PCIe 2.0 x16.  The model is the usual alpha-beta (latency + bytes /
+bandwidth) cost with tree-structured collectives — the MPI_Bcast that
+replicates the graph and the MPI_Reduce that combines per-node BC
+vectors (Section V-D).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ClusterConfigurationError
+
+__all__ = ["LinkModel", "INFINIBAND_QDR", "PCIE2_X16"]
+
+
+@dataclass(frozen=True)
+class LinkModel:
+    """Alpha-beta point-to-point link."""
+
+    name: str
+    latency_s: float
+    bandwidth_bytes_per_s: float
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0:
+            raise ClusterConfigurationError("latency must be non-negative")
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ClusterConfigurationError("bandwidth must be positive")
+
+    def transfer_seconds(self, nbytes: int) -> float:
+        """Point-to-point time for one message."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return self.latency_s + nbytes / self.bandwidth_bytes_per_s
+
+    def tree_collective_seconds(self, nbytes: int, num_ranks: int) -> float:
+        """Binomial-tree broadcast/reduce across ``num_ranks`` ranks."""
+        if num_ranks < 1:
+            raise ClusterConfigurationError("num_ranks must be >= 1")
+        if num_ranks == 1:
+            return 0.0
+        rounds = math.ceil(math.log2(num_ranks))
+        return rounds * self.transfer_seconds(nbytes)
+
+
+#: QDR Infiniband: ~32 Gbit/s effective, microsecond-scale MPI latency.
+INFINIBAND_QDR = LinkModel(
+    name="Infiniband QDR",
+    latency_s=1.5e-6,
+    bandwidth_bytes_per_s=4.0e9,
+)
+
+#: PCIe 2.0 x16 host<->GPU link (~6 GB/s effective).
+PCIE2_X16 = LinkModel(
+    name="PCIe 2.0 x16",
+    latency_s=10e-6,
+    bandwidth_bytes_per_s=6.0e9,
+)

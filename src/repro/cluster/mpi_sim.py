@@ -1,0 +1,126 @@
+"""In-process MPI-like communicator.
+
+mpi4py is not available in this environment, so the multi-GPU program
+structure of Section V-D (replicate the graph, partition roots,
+accumulate local BC vectors, ``MPI_Reduce`` into global scores) is
+exercised against this single-process communicator.  Collectives
+operate on *lists of per-rank values* and follow mpi4py semantics:
+lowercase names for generic objects, capitalised behaviour (elementwise
+NumPy reduction) is what ``reduce``/``allreduce`` do when the values
+are arrays.
+
+Every collective also charges simulated communication time against an
+optional :class:`~repro.cluster.interconnect.LinkModel`, accumulated in
+:attr:`SimComm.elapsed_comm_seconds`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import CommunicatorError
+from .interconnect import LinkModel
+
+__all__ = ["SimComm"]
+
+
+def _nbytes(value) -> int:
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    if isinstance(value, (bytes, bytearray)):
+        return len(value)
+    if isinstance(value, (int, float, np.integer, np.floating)):
+        return 8
+    if isinstance(value, (list, tuple)):
+        return sum(_nbytes(v) for v in value)
+    return 64  # generic pickled-object estimate
+
+
+class SimComm:
+    """A simulated communicator over ``size`` ranks."""
+
+    def __init__(self, size: int, link: LinkModel | None = None):
+        if size < 1:
+            raise CommunicatorError("communicator size must be >= 1")
+        self.size = int(size)
+        self.link = link
+        self.elapsed_comm_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    def _check_rank(self, rank: int) -> int:
+        rank = int(rank)
+        if not 0 <= rank < self.size:
+            raise CommunicatorError(f"rank {rank} out of range [0, {self.size})")
+        return rank
+
+    def _check_values(self, values: Sequence) -> None:
+        if len(values) != self.size:
+            raise CommunicatorError(
+                f"expected {self.size} per-rank values, got {len(values)}"
+            )
+
+    def _charge(self, nbytes: int, tree: bool = True) -> None:
+        if self.link is None:
+            return
+        if tree:
+            self.elapsed_comm_seconds += self.link.tree_collective_seconds(
+                nbytes, self.size
+            )
+        else:
+            self.elapsed_comm_seconds += self.link.transfer_seconds(nbytes)
+
+    # ------------------------------------------------------------------
+    def bcast(self, value, root: int = 0):
+        """Return the root's value as every rank's value."""
+        self._check_rank(root)
+        self._charge(_nbytes(value))
+        return [value for _ in range(self.size)]
+
+    def scatter(self, values: Sequence, root: int = 0):
+        """Distribute one value to each rank from the root's list."""
+        self._check_rank(root)
+        self._check_values(values)
+        self._charge(_nbytes(values))
+        return list(values)
+
+    def gather(self, values: Sequence, root: int = 0):
+        """Collect every rank's value at the root."""
+        self._check_rank(root)
+        self._check_values(values)
+        self._charge(_nbytes(values))
+        return list(values)
+
+    def allgather(self, values: Sequence):
+        """Every rank receives every value."""
+        self._check_values(values)
+        self._charge(_nbytes(values))
+        return [list(values) for _ in range(self.size)]
+
+    def reduce(self, values: Sequence, op: Callable = None, root: int = 0):
+        """Combine per-rank values at the root (elementwise sum for
+        NumPy arrays by default — the Section V-D score reduction)."""
+        self._check_rank(root)
+        self._check_values(values)
+        self._charge(_nbytes(values[0]))
+        if op is None:
+            acc = values[0].copy() if isinstance(values[0], np.ndarray) else values[0]
+            for v in values[1:]:
+                acc = acc + v
+        else:
+            acc = values[0]
+            for v in values[1:]:
+                acc = op(acc, v)
+        return acc
+
+    def allreduce(self, values: Sequence, op: Callable = None):
+        """Reduce then make the result visible to all ranks."""
+        acc = self.reduce(values, op=op, root=0)
+        self._charge(_nbytes(acc))
+        return [acc.copy() if isinstance(acc, np.ndarray) else acc
+                for _ in range(self.size)]
+
+    def barrier(self) -> None:
+        """Synchronise (charges one empty tree collective)."""
+        self._charge(0)

@@ -1,0 +1,66 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single ``except``.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphFormatError",
+    "GraphStructureError",
+    "DeviceOutOfMemoryError",
+    "DeviceConfigurationError",
+    "StrategyError",
+    "ClusterConfigurationError",
+    "CommunicatorError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class GraphFormatError(ReproError):
+    """A graph file or edge list could not be parsed."""
+
+
+class GraphStructureError(ReproError):
+    """A graph violates a structural requirement (e.g. bad CSR arrays)."""
+
+
+class DeviceOutOfMemoryError(ReproError):
+    """A simulated device allocation exceeded the device memory capacity.
+
+    Mirrors the behaviour the paper reports for GPU-FAN, whose
+    O(n^2) predecessor structure exhausts the 6 GB of a GTX Titan for
+    graphs beyond a modest scale (Section V-B, Figure 5).
+    """
+
+    def __init__(self, requested: int, in_use: int, capacity: int, what: str = ""):
+        self.requested = int(requested)
+        self.in_use = int(in_use)
+        self.capacity = int(capacity)
+        self.what = what
+        super().__init__(
+            f"device OOM allocating {requested} bytes"
+            + (f" for {what!r}" if what else "")
+            + f": {in_use} bytes already in use of {capacity} capacity"
+        )
+
+
+class DeviceConfigurationError(ReproError):
+    """A simulated device/GPU specification is invalid."""
+
+
+class StrategyError(ReproError):
+    """An unknown or misconfigured BC parallelisation strategy."""
+
+
+class ClusterConfigurationError(ReproError):
+    """A simulated cluster/topology specification is invalid."""
+
+
+class CommunicatorError(ReproError):
+    """Misuse of the in-process MPI-like communicator."""

@@ -1,0 +1,32 @@
+"""Simulated GPU substrate: specs, cost model, memory ledger, device."""
+
+from .cost import DEFAULT_COSTS, CostModel
+from .device import STRATEGIES, Device, DeviceRun
+from .memory import (
+    FLOAT_BYTES,
+    INT_BYTES,
+    DeviceMemoryModel,
+    graph_footprint,
+    strategy_footprint,
+)
+from .spec import GTX_TITAN, TESLA_M2090, GPUSpec
+from .trace import LevelTrace, RootTrace, RunTrace
+
+__all__ = [
+    "CostModel",
+    "DEFAULT_COSTS",
+    "Device",
+    "DeviceRun",
+    "STRATEGIES",
+    "DeviceMemoryModel",
+    "graph_footprint",
+    "strategy_footprint",
+    "INT_BYTES",
+    "FLOAT_BYTES",
+    "GPUSpec",
+    "GTX_TITAN",
+    "TESLA_M2090",
+    "LevelTrace",
+    "RootTrace",
+    "RunTrace",
+]

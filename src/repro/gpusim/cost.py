@@ -1,0 +1,219 @@
+"""Kernel cost model: cycles charged per BFS/accumulation iteration.
+
+The model charges exactly the quantities the paper's analysis reasons
+about (Sections III and IV):
+
+* **Edge-parallel** kernels touch *every* directed edge on *every*
+  iteration with perfectly coalesced, perfectly balanced accesses —
+  cheap per edge, but the work is O(m) per level regardless of how few
+  edges actually matter.
+* **Work-efficient** kernels touch only the frontier's edges, but the
+  per-thread work equals the vertex's out-degree, so a chunk of ``T``
+  concurrent threads is as slow as its highest-degree member
+  (warp/block serialisation); accesses are queue-driven gathers
+  (scattered), and queue insertion costs an atomic CAS + append
+  (Algorithm 2, lines 5-7).
+* **Vertex-parallel** kernels additionally pay a per-vertex depth check
+  on all n vertices every level (the O(n^2 + m) traversal).
+* Every level costs one kernel launch / device-wide barrier.
+
+All methods return cycles for ONE thread block (one SM) processing one
+level of one root, except the GPU-FAN variant, which cooperates across
+the whole device (``device_chunk``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from .._util import chunk_max_sum
+
+__all__ = ["CostModel", "DEFAULT_COSTS"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Cycle charges for the kernel primitives.
+
+    Attributes
+    ----------
+    edge_coalesced:
+        Cycles per edge inspection in the edge-parallel layout
+        (streaming, fully coalesced).
+    edge_scattered:
+        Cycles per edge traversal through a queue-driven gather
+        (uncoalesced neighbour list access), including the atomic
+        traffic of discovery/path-counting.  Applies to the first
+        ``stream_threshold`` edges of a thread's row.
+    edge_streamed:
+        Cycles per edge beyond ``stream_threshold`` in one thread's
+        row: a long adjacency list is contiguous in CSR, so a single
+        thread walking it hits full cache lines and pipelines its loads
+        — hubs are slow, but not ``edge_scattered``-per-edge slow.
+    stream_threshold:
+        Row length beyond which a thread's traversal reaches streaming
+        throughput.
+    atomic:
+        Cycles per atomic operation (CAS on ``d``, atomicAdd on sigma or
+        the queue tail) in the *edge-parallel* layout, where colliding
+        updates from many threads are the norm.
+    queue_op:
+        Cycles per queue element copy (Q_next -> Q_curr, S append).
+    enqueue:
+        How discovered vertices enter Q_next: ``"cas"`` (the paper's
+        choice — an atomicAdd on the queue tail per discovery, folded
+        into the scattered per-edge charge) or ``"prefix-sum"``
+        (Merrill et al.'s cooperative enqueue).  The paper rejects the
+        prefix sum because at per-SM granularity *every* SM must scan
+        its whole candidate set independently (Section IV-A); the
+        ``prefix-sum`` variant charges exactly that scan so the
+        trade-off can be reproduced (benchmarks/test_ablation.py).
+    prefix_scan_factor:
+        Cycles per scanned element per scan pass in prefix-sum mode.
+    vertex_check:
+        Cycles per per-vertex "is it in this depth?" check
+        (vertex-parallel only).
+    launch:
+        Fixed cycles per iteration.  The per-SM methods run one
+        persistent block per SM, so an iteration boundary is only a
+        block-level ``__syncthreads()`` plus loop bookkeeping — tens of
+        cycles, not a kernel launch.
+    gpu_fan_sync_multiplier:
+        GPU-FAN synchronises *all* thread blocks between iterations
+        (fine-grained-only parallelism requires a device-wide barrier,
+        i.e. a kernel relaunch costing microseconds), which is orders
+        of magnitude costlier than the single-block sync above.
+    imbalance:
+        If False, chunk serialisation is disabled (each chunk charged
+        its mean instead of its max) — the ablation knob showing why
+        scale-free graphs punish the work-efficient method.
+    cycle_scale:
+        Uniform multiplier applied to every per-iteration cost.  The
+        structural model above counts work units; real irregular
+        kernels are additionally DRAM-latency- and occupancy-bound
+        (hundreds of cycles per dependent gather that 256 resident
+        threads only partially hide).  A uniform factor leaves every
+        ratio the paper reports untouched while bringing absolute
+        simulated times within the right order of magnitude, which
+        matters wherever simulated kernel time is balanced against
+        real-world fixed costs (the cluster model's setup and
+        communication terms, Figure 6 / Table IV).
+    """
+
+    edge_coalesced: float = 2.0
+    edge_scattered: float = 16.0
+    edge_streamed: float = 4.0
+    stream_threshold: int = 32
+    atomic: float = 6.0
+    queue_op: float = 4.0
+    enqueue: str = "cas"
+    prefix_scan_factor: float = 3.0
+    vertex_check: float = 1.0
+    launch: float = 50.0
+    gpu_fan_sync_multiplier: float = 60.0
+    imbalance: bool = True
+    cycle_scale: float = 100.0
+
+    # -- helpers ------------------------------------------------------
+    def _row_cycles(self, degrees: np.ndarray) -> np.ndarray:
+        """Per-thread cycles to traverse a row of each given length:
+        scattered cost up to ``stream_threshold`` edges, streaming cost
+        beyond (long CSR rows are contiguous)."""
+        deg = np.asarray(degrees, dtype=np.float64)
+        short = np.minimum(deg, self.stream_threshold)
+        long = deg - short
+        return short * self.edge_scattered + long * self.edge_streamed
+
+    def _serialized(self, row_cycles: np.ndarray, chunk: int) -> float:
+        """Chunked execution time of per-thread costs (see module doc)."""
+        row_cycles = np.asarray(row_cycles)
+        if row_cycles.size == 0:
+            return 0.0
+        if self.imbalance:
+            return float(chunk_max_sum(row_cycles, chunk))
+        return float(row_cycles.sum()) / chunk
+
+    # -- work-efficient (Algorithms 2 and 3) --------------------------
+    def we_forward(self, frontier_degrees: np.ndarray, chunk: int) -> float:
+        """One shortest-path-calculation level, work-efficient kernel."""
+        fdeg = np.asarray(frontier_degrees)
+        f = int(fdeg.size)
+        cycles = self._serialized(self._row_cycles(fdeg), chunk)
+        cycles += math.ceil(f / chunk) * self.queue_op * 2  # Q_next->Q_curr, S append
+        if self.enqueue == "prefix-sum":
+            # Cooperative enqueue: this SM alone scans every candidate
+            # edge of the level (one flag per inspected edge), paying
+            # O(edge_frontier / chunk) scan passes — the overhead the
+            # paper measured and rejected.
+            ef = float(fdeg.sum())
+            passes = math.log2(max(ef, 2.0))
+            cycles += ef / chunk * self.prefix_scan_factor * passes
+        elif self.enqueue != "cas":
+            raise ValueError(f"unknown enqueue mode {self.enqueue!r}")
+        return (cycles + self.launch) * self.cycle_scale
+
+    def we_backward(self, level_degrees: np.ndarray, chunk: int) -> float:
+        """One dependency-accumulation level (atomic-free successor scan)."""
+        f = int(np.asarray(level_degrees).size)
+        cycles = self._serialized(self._row_cycles(level_degrees), chunk) * 0.8
+        cycles += math.ceil(f / chunk) * self.queue_op  # read S segment
+        return (cycles + self.launch) * self.cycle_scale
+
+    # -- edge-parallel (Jia et al. / GPU-FAN layout) -------------------
+    def ep_forward(self, num_directed_edges: int, useful_edges: int,
+                   chunk: int) -> float:
+        """One forward level: scan all edges, relax the useful ones."""
+        cycles = math.ceil(num_directed_edges / chunk) * self.edge_coalesced
+        cycles += useful_edges / chunk * self.atomic
+        return (cycles + self.launch) * self.cycle_scale
+
+    def ep_backward(self, num_directed_edges: int, useful_edges: int,
+                    chunk: int) -> float:
+        """One backward level: scan all edges; predecessor updates are
+        atomic in the edge-parallel layout (Section IV-A)."""
+        cycles = math.ceil(num_directed_edges / chunk) * self.edge_coalesced
+        cycles += useful_edges / chunk * self.atomic
+        return (cycles + self.launch) * self.cycle_scale
+
+    # -- vertex-parallel (Jia et al.) ----------------------------------
+    def vp_forward(self, num_vertices: int, masked_degrees: np.ndarray,
+                   chunk: int) -> float:
+        """One forward level: every vertex checked, frontier vertices
+        traverse their edges in-place (no queue)."""
+        cycles = math.ceil(num_vertices / chunk) * self.vertex_check
+        cycles += self._serialized(self._row_cycles(masked_degrees), chunk)
+        return (cycles + self.launch) * self.cycle_scale
+
+    def vp_backward(self, num_vertices: int, masked_degrees: np.ndarray,
+                    chunk: int) -> float:
+        """One backward level of the vertex-parallel kernel."""
+        cycles = math.ceil(num_vertices / chunk) * self.vertex_check
+        cycles += self._serialized(self._row_cycles(masked_degrees), chunk) * 0.8
+        return (cycles + self.launch) * self.cycle_scale
+
+    # -- GPU-FAN -------------------------------------------------------
+    def gpu_fan_forward(self, num_directed_edges: int, useful_edges: int,
+                        device_chunk: int) -> float:
+        """GPU-FAN forward level: whole device on one root, global sync."""
+        cycles = math.ceil(num_directed_edges / device_chunk) * self.edge_coalesced
+        cycles += useful_edges / device_chunk * self.atomic
+        cycles += self.launch * self.gpu_fan_sync_multiplier
+        return cycles * self.cycle_scale
+
+    def gpu_fan_backward(self, num_directed_edges: int, useful_edges: int,
+                         device_chunk: int) -> float:
+        """GPU-FAN backward level."""
+        return self.gpu_fan_forward(num_directed_edges, useful_edges, device_chunk)
+
+    # -- variants ------------------------------------------------------
+    def without_imbalance(self) -> "CostModel":
+        """Ablation variant with chunk serialisation disabled."""
+        return replace(self, imbalance=False)
+
+
+#: Default constants, calibrated so the paper's cross-over shapes hold
+#: (see benchmarks/test_ablation.py and EXPERIMENTS.md).
+DEFAULT_COSTS = CostModel()

@@ -1,0 +1,350 @@
+"""Simulated GPU device: scheduling, memory checking, BC runs.
+
+The device reproduces the execution structure of the paper's CUDA
+implementations:
+
+* **Coarse + fine parallelism** (Jia et al. layout, used by the
+  vertex-/edge-parallel baselines and all of the paper's methods): one
+  thread block per SM, each block processing BC roots one at a time and
+  pulling the next root when it finishes — modelled as greedy list
+  scheduling of per-root cycle costs onto ``num_sms`` SMs; the run's
+  simulated time is the makespan.
+* **Fine-grained only** (GPU-FAN): the whole device cooperates on one
+  root at a time, so the simulated time is the *sum* of per-root costs
+  (with device-wide concurrency per level and costlier global sync).
+
+Before running, the device "allocates" every data structure the chosen
+strategy needs; GPU-FAN's O(n^2) predecessor matrix therefore raises
+:class:`~repro.errors.DeviceOutOfMemoryError` at the same scales the
+paper reports it failing (Figure 5).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..bc.policies import (
+    EDGE_PARALLEL,
+    GPU_FAN,
+    VERTEX_PARALLEL,
+    WORK_EFFICIENT,
+    FixedPolicy,
+    FrontierGuardPolicy,
+    HybridPolicy,
+)
+from ..bc.sampling import (
+    DEFAULT_GAMMA,
+    DEFAULT_MIN_FRONTIER,
+    DEFAULT_N_SAMPS,
+    choose_edge_parallel,
+)
+from ..errors import GraphFormatError, StrategyError
+from ..graph.csr import CSRGraph
+from .cost import DEFAULT_COSTS, CostModel
+from .memory import DeviceMemoryModel, strategy_footprint
+from .spec import GTX_TITAN, GPUSpec
+from .trace import RunTrace
+
+__all__ = ["Device", "DeviceRun", "STRATEGIES"]
+
+#: Strategy names accepted by :meth:`Device.run_bc`.
+STRATEGIES = (
+    WORK_EFFICIENT,
+    EDGE_PARALLEL,
+    VERTEX_PARALLEL,
+    "hybrid",
+    "sampling",
+    GPU_FAN,
+)
+
+
+@dataclass
+class DeviceRun:
+    """Result of one simulated BC run."""
+
+    bc: np.ndarray
+    trace: RunTrace
+    cycles: float
+    seconds: float
+    strategy: str
+    spec: GPUSpec
+    num_vertices: int
+    num_edges: int
+    roots: np.ndarray
+    memory_report: dict = field(default_factory=dict)
+    sampling_chose_edge_parallel: bool | None = None
+    #: Cycles that do NOT scale with the root count when extrapolating
+    #: (the sampling method's fixed classification phase).
+    fixed_cycles: float = 0.0
+    #: How many of ``roots`` were consumed by that fixed phase.
+    fixed_roots: int = 0
+
+    @property
+    def num_roots(self) -> int:
+        return int(self.roots.size)
+
+    def teps(self) -> float:
+        """Traversed edges per second for the roots actually run:
+        ``m * k / t`` (Eq. 4 restricted to k sources)."""
+        if self.seconds <= 0:
+            return float("inf")
+        return self.num_edges * self.num_roots / self.seconds
+
+    def mteps(self) -> float:
+        """:meth:`teps` in millions."""
+        return self.teps() / 1e6
+
+    def extrapolated_seconds(self, total_roots: int | None = None) -> float:
+        """Estimated time for a run over ``total_roots`` sources
+        (default: all n).
+
+        Steady-state roots scale by their measured per-root mean over
+        the device's SMs — valid because per-root cost is near-uniform
+        within one component (paper Sections IV-C, V-D) — while the
+        sampling method's classification phase is charged once as a
+        fixed cost, exactly as in a real full-n run.
+        """
+        total = self.num_vertices if total_roots is None else int(total_roots)
+        steady = [rt.cycles for rt in self.trace.roots[self.fixed_roots:]]
+        if not steady:
+            # Everything ran in the fixed phase; fall back to makespan
+            # scaling over the whole sample.
+            if self.num_roots == 0:
+                return 0.0
+            return self.seconds * total / self.num_roots
+        mean = float(np.mean(steady))
+        remaining = max(0, total - self.fixed_roots)
+        # GPU-FAN dedicates the whole device to each root, so roots do
+        # not overlap across SMs; every other layout processes num_sms
+        # roots concurrently.
+        concurrency = 1 if self.strategy == "gpu-fan" else self.spec.num_sms
+        cycles = self.fixed_cycles + remaining * mean / concurrency
+        return self.spec.seconds(cycles)
+
+    def extrapolated_teps(self, total_roots: int | None = None) -> float:
+        """TEPS (Eq. 4) of the extrapolated ``total_roots``-source run."""
+        t = self.extrapolated_seconds(total_roots)
+        total = self.num_vertices if total_roots is None else int(total_roots)
+        if t <= 0:
+            return float("inf")
+        return self.num_edges * total / t
+
+    def extrapolated_mteps(self, total_roots: int | None = None) -> float:
+        """:meth:`extrapolated_teps` in millions (Table III units)."""
+        return self.extrapolated_teps(total_roots) / 1e6
+
+
+def _run_root(*args, **kwargs):
+    """Deferred import of the per-root engine (breaks the bc <-> gpusim
+    import cycle: the engine needs the cost model's types, the device
+    needs the engine's entry point)."""
+    from ..bc.engine import run_root
+
+    return run_root(*args, **kwargs)
+
+
+def _list_schedule(costs_per_root, num_workers: int):
+    """Greedy in-order list scheduling; returns (makespan, per-worker)."""
+    workers = [0.0] * max(1, int(num_workers))
+    heap = [(0.0, i) for i in range(len(workers))]
+    heapq.heapify(heap)
+    for c in costs_per_root:
+        load, i = heapq.heappop(heap)
+        load += float(c)
+        workers[i] = load
+        heapq.heappush(heap, (load, i))
+    return max(workers), np.asarray(workers)
+
+
+class Device:
+    """A simulated GPU executing betweenness-centrality runs."""
+
+    def __init__(self, spec: GPUSpec = GTX_TITAN, costs: CostModel = DEFAULT_COSTS):
+        self.spec = spec
+        self.costs = costs
+
+    # ------------------------------------------------------------------
+    def run_bc(
+        self,
+        g: CSRGraph,
+        strategy: str = "sampling",
+        roots=None,
+        *,
+        alpha: int | None = None,
+        beta: int | None = None,
+        n_samps: int = DEFAULT_N_SAMPS,
+        gamma: float = DEFAULT_GAMMA,
+        min_frontier: int = DEFAULT_MIN_FRONTIER,
+        strict_reader: bool = False,
+        check_memory: bool = True,
+    ) -> DeviceRun:
+        """Run BC on the device under ``strategy``.
+
+        Parameters
+        ----------
+        roots:
+            Sources to process (all vertices by default).  Experiments
+            on large graphs pass a sample and extrapolate via
+            :meth:`DeviceRun.extrapolated_seconds`.
+        alpha, beta:
+            Hybrid thresholds (Algorithm 4); defaults 768 / 512.
+        n_samps, gamma, min_frontier:
+            Sampling parameters (Algorithm 5); defaults 512 / 4 / 512.
+        strict_reader:
+            Model the Jia et al. reference reader, which rejects graphs
+            containing isolated vertices (Section V-B) — only honoured
+            for the vertex-/edge-parallel baselines.
+        check_memory:
+            Allocate all device structures first and raise
+            :class:`DeviceOutOfMemoryError` if they exceed capacity.
+        """
+        if strategy not in STRATEGIES:
+            raise StrategyError(
+                f"unknown strategy {strategy!r}; known: {STRATEGIES}"
+            )
+        n = g.num_vertices
+        if roots is None:
+            roots = np.arange(n, dtype=np.int64)
+        else:
+            roots = np.asarray(roots, dtype=np.int64).ravel()
+            if roots.size and (roots.min() < 0 or roots.max() >= n):
+                raise IndexError("roots out of range")
+
+        if strict_reader and strategy in (EDGE_PARALLEL, VERTEX_PARALLEL):
+            isolated = g.isolated_vertices()
+            if isolated.size:
+                raise GraphFormatError(
+                    f"reference reader cannot load graphs with isolated "
+                    f"vertices ({isolated.size} present)"
+                )
+
+        memory_report: dict = {}
+        if check_memory:
+            mem = DeviceMemoryModel(capacity=self.spec.memory_bytes)
+            footprint = strategy_footprint(
+                g, self._memory_strategy(strategy), num_blocks=self.spec.num_sms
+            )
+            for what, nbytes in footprint.items():
+                mem.alloc(nbytes, what)
+            memory_report = mem.report()
+
+        bc = np.zeros(n, dtype=np.float64)
+        chunk = self.spec.concurrent_threads_per_sm
+
+        fixed_cycles = 0.0
+        fixed_roots = 0
+        if strategy == GPU_FAN:
+            run = self._run_gpu_fan(g, roots, bc, chunk)
+        elif strategy == "sampling":
+            run = self._run_sampling(g, roots, bc, chunk, n_samps, gamma,
+                                     min_frontier)
+            fixed_cycles = run[3]
+            fixed_roots = run[4]
+            run = run[:3]
+        else:
+            policy_factory = self._policy_factory(strategy, alpha, beta)
+            run = self._run_coarse(g, roots, bc, chunk, policy_factory)
+
+        trace, makespan, extra = run
+        if g.undirected:
+            bc /= 2.0
+        return DeviceRun(
+            bc=bc,
+            trace=trace,
+            cycles=makespan,
+            seconds=self.spec.seconds(makespan),
+            strategy=strategy,
+            spec=self.spec,
+            num_vertices=n,
+            num_edges=g.num_edges,
+            roots=roots,
+            memory_report=memory_report,
+            sampling_chose_edge_parallel=extra,
+            fixed_cycles=fixed_cycles,
+            fixed_roots=fixed_roots,
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _memory_strategy(strategy: str) -> str:
+        """Map run strategies to memory-footprint classes."""
+        if strategy in ("hybrid", "sampling"):
+            return WORK_EFFICIENT
+        return strategy
+
+    @staticmethod
+    def _policy_factory(strategy: str, alpha, beta):
+        if strategy == WORK_EFFICIENT:
+            return lambda: FixedPolicy(WORK_EFFICIENT)
+        if strategy == EDGE_PARALLEL:
+            return lambda: FixedPolicy(EDGE_PARALLEL)
+        if strategy == VERTEX_PARALLEL:
+            return lambda: FixedPolicy(VERTEX_PARALLEL)
+        if strategy == "hybrid":
+            kw = {}
+            if alpha is not None:
+                kw["alpha"] = alpha
+            if beta is not None:
+                kw["beta"] = beta
+            return lambda: HybridPolicy(**kw)
+        raise StrategyError(f"no policy for {strategy!r}")
+
+    def _run_coarse(self, g, roots, bc, chunk, policy_factory):
+        """Jia-style layout: blocks pull roots; makespan scheduling."""
+        trace = RunTrace()
+        for s in roots:
+            trace.roots.append(
+                _run_root(g, int(s), bc, policy_factory(), self.costs, chunk)
+            )
+        makespan, per_sm = _list_schedule(
+            [rt.cycles for rt in trace.roots], self.spec.num_sms
+        )
+        trace.makespan_cycles = makespan
+        trace.sm_cycles = per_sm
+        return trace, makespan, None
+
+    def _run_gpu_fan(self, g, roots, bc, chunk):
+        """GPU-FAN layout: whole device per root, roots sequential."""
+        trace = RunTrace()
+        device_chunk = self.spec.total_threads
+        policy = FixedPolicy(GPU_FAN)
+        for s in roots:
+            trace.roots.append(
+                _run_root(g, int(s), bc, policy, self.costs, chunk,
+                         device_chunk=device_chunk)
+            )
+        makespan = trace.total_root_cycles
+        trace.makespan_cycles = makespan
+        trace.sm_cycles = np.full(self.spec.num_sms, makespan)
+        return trace, makespan, None
+
+    def _run_sampling(self, g, roots, bc, chunk, n_samps, gamma, min_frontier):
+        """Algorithm 5: classify with the first ``n_samps`` roots, then
+        finish with the selected method."""
+        trace = RunTrace()
+        k = min(int(n_samps), roots.size)
+        phase1 = roots[:k]
+        phase2 = roots[k:]
+        we = FixedPolicy(WORK_EFFICIENT)
+        for s in phase1:
+            trace.roots.append(_run_root(g, int(s), bc, we, self.costs, chunk))
+        makespan1, _ = _list_schedule(
+            [rt.cycles for rt in trace.roots], self.spec.num_sms
+        )
+        depths = [rt.max_depth for rt in trace.roots]
+        use_ep = choose_edge_parallel(depths, g.num_vertices, gamma=gamma)
+        phase2_start = len(trace.roots)
+        for s in phase2:
+            policy = (FrontierGuardPolicy(min_frontier) if use_ep
+                      else FixedPolicy(WORK_EFFICIENT))
+            trace.roots.append(_run_root(g, int(s), bc, policy, self.costs, chunk))
+        makespan2, per_sm = _list_schedule(
+            [rt.cycles for rt in trace.roots[phase2_start:]], self.spec.num_sms
+        )
+        makespan = makespan1 + makespan2
+        trace.makespan_cycles = makespan
+        trace.sm_cycles = per_sm
+        return trace, makespan, use_ep, makespan1, int(phase1.size)

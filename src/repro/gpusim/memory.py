@@ -1,0 +1,103 @@
+"""Device memory ledger.
+
+Models the 6 GB GDDR5 of the paper's GPUs so the scalability
+differences of Section III-B / Figure 5 fall out naturally:
+
+* **GPU-FAN** keeps an O(n^2) predecessor matrix -> out-of-memory well
+  below a million vertices;
+* **Jia et al.** keep an O(m) predecessor array per thread block;
+* **the paper's approach** keeps only O(n) per block, so the graph
+  itself becomes the limit.
+
+Element widths mirror the CUDA implementations (32-bit ints/floats).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import DeviceOutOfMemoryError
+from ..graph.csr import CSRGraph
+
+__all__ = [
+    "DeviceMemoryModel",
+    "INT_BYTES",
+    "FLOAT_BYTES",
+    "graph_footprint",
+    "strategy_footprint",
+]
+
+INT_BYTES = 4
+FLOAT_BYTES = 4
+
+
+@dataclass
+class DeviceMemoryModel:
+    """Tracks simulated device allocations against a fixed capacity."""
+
+    capacity: int
+    allocations: dict = field(default_factory=dict)
+
+    @property
+    def in_use(self) -> int:
+        """Total bytes currently allocated."""
+        return sum(self.allocations.values())
+
+    @property
+    def free(self) -> int:
+        """Remaining capacity in bytes."""
+        return self.capacity - self.in_use
+
+    def alloc(self, nbytes: int, what: str) -> None:
+        """Record an allocation, raising :class:`DeviceOutOfMemoryError`
+        when the capacity would be exceeded."""
+        nbytes = int(nbytes)
+        if nbytes < 0:
+            raise ValueError("allocation size must be non-negative")
+        if nbytes > self.free:
+            raise DeviceOutOfMemoryError(nbytes, self.in_use, self.capacity, what)
+        self.allocations[what] = self.allocations.get(what, 0) + nbytes
+
+    def free_all(self) -> None:
+        """Release every allocation (end of a run)."""
+        self.allocations.clear()
+
+    def report(self) -> dict:
+        """Snapshot of the allocation ledger (bytes by label)."""
+        return dict(self.allocations)
+
+
+def graph_footprint(g: CSRGraph) -> int:
+    """Bytes for the CSR arrays on the device (32-bit entries)."""
+    return (g.num_vertices + 1) * INT_BYTES + g.num_directed_edges * INT_BYTES
+
+
+def strategy_footprint(g: CSRGraph, strategy: str, num_blocks: int) -> dict:
+    """Per-label device bytes required by a BC strategy.
+
+    ``strategy`` is one of ``work-efficient``, ``hybrid``, ``sampling``,
+    ``edge-parallel``, ``vertex-parallel`` (all Jia-style: coarse
+    parallelism with ``num_blocks`` concurrent roots) or ``gpu-fan``
+    (fine-grained only: one root at a time, O(n^2) predecessors).
+    """
+    n, m_dir = g.num_vertices, g.num_directed_edges
+    out = {"graph CSR": graph_footprint(g),
+           "bc scores": n * FLOAT_BYTES}
+    # d, sigma, delta are needed by every method, per concurrent root.
+    per_root_core = 3 * n * (INT_BYTES + FLOAT_BYTES) // 2  # d int + sigma/delta float
+    if strategy in ("work-efficient", "hybrid", "sampling"):
+        # + Q_curr, Q_next, S, ends: all O(n) ints (Algorithm 1).
+        per_root = per_root_core + 4 * n * INT_BYTES
+        out["per-block locals (O(n))"] = per_root * num_blocks
+    elif strategy in ("edge-parallel", "vertex-parallel"):
+        # + O(m) boolean predecessor array per block (Jia et al.).
+        per_root = per_root_core + m_dir * 1
+        out["per-block locals (O(m) preds)"] = per_root * num_blocks
+    elif strategy == "gpu-fan":
+        # Single root at a time, but an O(n^2) predecessor matrix
+        # (1 byte per entry; the cliff of Figure 5).
+        out["gpu-fan predecessor matrix (O(n^2))"] = n * n
+        out["per-root locals"] = per_root_core
+    else:
+        raise ValueError(f"unknown strategy {strategy!r}")
+    return out

@@ -1,0 +1,77 @@
+"""Simulated GPU specifications.
+
+Two presets mirror the paper's hardware (Section V-A):
+
+* **GeForce GTX Titan** — 14 SMs, 837 MHz base clock, 6 GB GDDR5,
+  compute capability 3.5 (single-node experiments);
+* **Tesla M2090** — 16 SMs, 1.3 GHz, 6 GB GDDR5, compute capability 2.0
+  (three per node on the Keeneland KIDS cluster).
+
+``concurrent_threads_per_sm`` is the *effective* execution width the
+cost model serialises chunks against — the number of threads an SM
+retires concurrently, not the number resident.  The paper launches one
+thread block per SM (Jia et al. showed this is optimal), so coarse
+parallelism equals ``num_sms`` roots in flight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import DeviceConfigurationError
+
+__all__ = ["GPUSpec", "GTX_TITAN", "TESLA_M2090"]
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Static description of a simulated GPU."""
+
+    name: str
+    num_sms: int
+    clock_hz: float
+    memory_bytes: int
+    concurrent_threads_per_sm: int = 256
+    compute_capability: str = ""
+
+    def __post_init__(self) -> None:
+        if self.num_sms <= 0:
+            raise DeviceConfigurationError("num_sms must be positive")
+        if self.clock_hz <= 0:
+            raise DeviceConfigurationError("clock_hz must be positive")
+        if self.memory_bytes <= 0:
+            raise DeviceConfigurationError("memory_bytes must be positive")
+        if self.concurrent_threads_per_sm <= 0:
+            raise DeviceConfigurationError(
+                "concurrent_threads_per_sm must be positive"
+            )
+
+    @property
+    def total_threads(self) -> int:
+        """Device-wide effective concurrency (all SMs cooperating)."""
+        return self.num_sms * self.concurrent_threads_per_sm
+
+    def seconds(self, cycles: float) -> float:
+        """Convert a cycle count into simulated wall-clock seconds."""
+        return float(cycles) / self.clock_hz
+
+
+#: Single-node GPU of Section V-A.
+GTX_TITAN = GPUSpec(
+    name="GeForce GTX Titan",
+    num_sms=14,
+    clock_hz=837e6,
+    memory_bytes=6 * 1024**3,
+    concurrent_threads_per_sm=256,
+    compute_capability="3.5",
+)
+
+#: Cluster GPU of Section V-A (three per KIDS node).
+TESLA_M2090 = GPUSpec(
+    name="Tesla M2090",
+    num_sms=16,
+    clock_hz=1.3e9,
+    memory_bytes=6 * 1024**3,
+    concurrent_threads_per_sm=256,
+    compute_capability="2.0",
+)

@@ -1,0 +1,92 @@
+"""Execution traces produced by the simulated kernels.
+
+Traces carry, per BFS level: the vertex-frontier size (Figure 3), the
+edge-frontier size (Table I), the strategy that processed the level
+(hybrid switching behaviour), and the cycles charged — which is what
+Table I correlates frontier sizes against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["LevelTrace", "RootTrace", "RunTrace"]
+
+
+@dataclass(frozen=True)
+class LevelTrace:
+    """One kernel iteration (one BFS level, one stage)."""
+
+    depth: int
+    stage: str  # "forward" or "backward"
+    strategy: str  # "work-efficient" | "edge-parallel" | "vertex-parallel" | "gpu-fan"
+    frontier_size: int
+    edge_frontier: int
+    cycles: float
+
+
+@dataclass
+class RootTrace:
+    """All iterations of one BC root (shortest paths + accumulation)."""
+
+    root: int
+    levels: list = field(default_factory=list)
+
+    def add(self, level: LevelTrace) -> None:
+        self.levels.append(level)
+
+    @property
+    def cycles(self) -> float:
+        """Total cycles this root cost on its SM."""
+        return float(sum(lv.cycles for lv in self.levels))
+
+    @property
+    def max_depth(self) -> int:
+        """Deepest forward level (the BFS depth Algorithm 5 samples)."""
+        forward = [lv.depth for lv in self.levels if lv.stage == "forward"]
+        return max(forward, default=0)
+
+    def forward_levels(self) -> list:
+        return [lv for lv in self.levels if lv.stage == "forward"]
+
+    def vertex_frontier_sizes(self) -> np.ndarray:
+        """Vertex-frontier series for this root (Figure 3)."""
+        return np.array([lv.frontier_size for lv in self.forward_levels()],
+                        dtype=np.int64)
+
+    def edge_frontier_sizes(self) -> np.ndarray:
+        """Edge-frontier series for this root (Table I)."""
+        return np.array([lv.edge_frontier for lv in self.forward_levels()],
+                        dtype=np.int64)
+
+    def forward_cycles(self) -> np.ndarray:
+        """Per-forward-level cycle series (Table I's elapsed times)."""
+        return np.array([lv.cycles for lv in self.forward_levels()], dtype=np.float64)
+
+    def strategies_used(self) -> list:
+        """Distinct strategies across levels, in first-use order."""
+        seen: list = []
+        for lv in self.levels:
+            if lv.strategy not in seen:
+                seen.append(lv.strategy)
+        return seen
+
+
+@dataclass
+class RunTrace:
+    """A whole device run: per-root traces plus schedule outcome."""
+
+    roots: list = field(default_factory=list)  # list[RootTrace]
+    makespan_cycles: float = 0.0
+    sm_cycles: np.ndarray | None = None  # per-SM busy cycles
+
+    @property
+    def total_root_cycles(self) -> float:
+        """Sum of per-root costs (ignores scheduling; = serial time)."""
+        return float(sum(rt.cycles for rt in self.roots))
+
+    def max_depths(self) -> np.ndarray:
+        """Per-root max BFS depths (what Algorithm 5's median inspects)."""
+        return np.array([rt.max_depth for rt in self.roots], dtype=np.int64)

@@ -1,0 +1,43 @@
+"""Delaunay triangulations of random points (stand-in for ``delaunay_nXX``).
+
+The DIMACS ``delaunay_n20`` graph is the Delaunay triangulation of
+2^20 random points: planar, average degree just under 6, diameter in
+the hundreds — the "mesh" class of Figure 3b / Figure 5b.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..build import from_edges
+from ..csr import CSRGraph
+
+__all__ = ["delaunay_graph", "delaunay_n"]
+
+
+def delaunay_graph(n: int, seed: int = 0, name: str = "") -> CSRGraph:
+    """Delaunay triangulation of ``n`` uniform random points in the unit
+    square, as an undirected graph on the points."""
+    if n <= 0:
+        return CSRGraph(np.zeros(1, dtype=np.int64), np.empty(0, dtype=np.int64),
+                        name=name or "delaunay_empty")
+    if n < 3:
+        # Too few points to triangulate: chain them.
+        edges = np.column_stack([np.arange(n - 1), np.arange(1, n)])
+        return from_edges(edges, num_vertices=n, undirected=True,
+                          name=name or f"delaunay_{n}")
+    rng = np.random.default_rng(seed)
+    pts = rng.random((n, 2))
+    from scipy.spatial import Delaunay
+
+    tri = Delaunay(pts)
+    s = tri.simplices
+    edges = np.concatenate([s[:, [0, 1]], s[:, [1, 2]], s[:, [0, 2]]], axis=0)
+    return from_edges(edges, num_vertices=n, undirected=True,
+                      name=name or f"delaunay_{n}")
+
+
+def delaunay_n(scale: int, seed: int = 0) -> CSRGraph:
+    """DIMACS-style instance ``delaunay_n<scale>`` with ``2**scale`` points."""
+    n = 1 << int(scale)
+    return delaunay_graph(n, seed=seed, name=f"delaunay_n{scale}")

@@ -1,0 +1,40 @@
+"""The paper's running example graph (Figures 1 and 2).
+
+The figure itself is not machine-readable, so the edge set below is
+reconstructed from every property the text states:
+
+* vertex 4's neighbours are exactly {1, 3, 5, 6} (the second BFS
+  iteration from vertex 4 has frontier {1, 3, 5, 6});
+* vertex 4 is the unique cut vertex between {1, 2, 3} and {5..9}, so it
+  lies on all shortest paths between the two sides (highest BC);
+* vertex 9 lies on no shortest path between any other pair (BC = 0);
+* vertex 8 lies on *a* path from 5 to 9, but the *shortest* 5-9 path
+  goes through 7 instead, and 8's BC is 0.
+
+Vertices are 0-indexed here; the paper labels them 1..9, so paper
+vertex ``k`` is index ``k - 1``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..build import from_edges
+from ..csr import CSRGraph
+
+__all__ = ["figure1_graph", "FIGURE1_EDGES"]
+
+#: Undirected edges of the Figure 1 example, using the paper's 1-based labels.
+FIGURE1_EDGES = [
+    (1, 2), (2, 3),          # the right-hand triangle path 1-2-3
+    (1, 4), (3, 4),          # both right-side anchors of the cut vertex
+    (4, 5), (4, 6), (5, 6),  # the left-side wedge
+    (5, 7),                  # corridor toward the tail
+    (7, 8), (7, 9), (8, 9),  # the 7-8-9 triangle (8 and 9 score zero)
+]
+
+
+def figure1_graph() -> CSRGraph:
+    """Return the 9-vertex example graph of Figure 1 (0-indexed)."""
+    edges = np.asarray(FIGURE1_EDGES, dtype=np.int64) - 1
+    return from_edges(edges, num_vertices=9, undirected=True, name="figure1")

@@ -1,0 +1,78 @@
+"""R-MAT / stochastic Kronecker generator (stand-in for ``kron_g500-lognXX``).
+
+The Graph500 reference generator draws edges by recursively descending a
+2x2 probability matrix (a, b; c, d) for ``scale`` levels.  With the
+Graph500 parameters (a=0.57, b=0.19, c=0.19, d=0.05) the result is a
+scale-free graph with tiny diameter, a power-law degree distribution with
+extreme hubs, and — characteristically — a large number of isolated
+vertices, which the paper calls out both for the Jia et al. reader
+limitation and for the inflated TEPS discussion of Table IV.
+
+The sampling loop below is fully vectorised: one RNG draw per (edge,
+level) decides the quadrant for all edges at once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..build import from_edges
+from ..csr import CSRGraph
+
+__all__ = ["rmat_edges", "kronecker_graph", "kron_g500"]
+
+GRAPH500_PROBS = (0.57, 0.19, 0.19, 0.05)
+
+
+def rmat_edges(
+    scale: int,
+    num_edges: int,
+    probs: tuple = GRAPH500_PROBS,
+    seed: int = 0,
+    noise: float = 0.05,
+) -> np.ndarray:
+    """Sample ``num_edges`` R-MAT edge pairs over ``2**scale`` vertices.
+
+    ``noise`` perturbs the quadrant probabilities per level (the Graph500
+    "smoothing" that avoids exact self-similarity artifacts).
+    """
+    a, b, c, d = probs
+    total = a + b + c + d
+    if not np.isclose(total, 1.0, atol=1e-6):
+        raise ValueError(f"R-MAT probabilities must sum to 1, got {total}")
+    rng = np.random.default_rng(seed)
+    src = np.zeros(num_edges, dtype=np.int64)
+    dst = np.zeros(num_edges, dtype=np.int64)
+    for level in range(int(scale)):
+        # Perturb probabilities slightly per level, renormalise.
+        p = np.array([a, b, c, d]) * (1.0 + noise * (rng.random(4) - 0.5))
+        p /= p.sum()
+        u = rng.random(num_edges)
+        # Quadrant thresholds: [0,a) -> (0,0); [a,a+c) -> (1,0);
+        # [a+c, a+c+b) -> (0,1); [a+c+b, 1) -> (1,1).
+        right = u >= p[0] + p[2]
+        down = ((u >= p[0]) & (u < p[0] + p[2])) | (u >= p[0] + p[2] + p[1])
+        src = (src << 1) | down.astype(np.int64)
+        dst = (dst << 1) | right.astype(np.int64)
+    return np.column_stack([src, dst])
+
+
+def kronecker_graph(
+    scale: int,
+    edge_factor: int = 16,
+    probs: tuple = GRAPH500_PROBS,
+    seed: int = 0,
+    name: str = "",
+) -> CSRGraph:
+    """Graph500-style Kronecker graph: ``2**scale`` vertices and
+    ``edge_factor * 2**scale`` sampled (pre-dedup) undirected edges."""
+    n = 1 << int(scale)
+    num_edges = int(edge_factor) * n
+    edges = rmat_edges(scale, num_edges, probs=probs, seed=seed)
+    return from_edges(edges, num_vertices=n, undirected=True,
+                      name=name or f"kron_g500-logn{scale}")
+
+
+def kron_g500(scale: int, seed: int = 0, edge_factor: int = 16) -> CSRGraph:
+    """Named instance matching the paper's ``kron_g500-logn<scale>``."""
+    return kronecker_graph(scale, edge_factor=edge_factor, seed=seed)

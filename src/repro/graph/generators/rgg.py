@@ -1,0 +1,58 @@
+"""Random geometric graphs (stand-in for DIMACS ``rgg_n_2_k``).
+
+``rgg_n_2_k`` places ``2**k`` points uniformly in the unit square and
+connects pairs within Euclidean distance ``r``.  The DIMACS instances
+choose ``r`` so the graph is almost surely connected; the resulting
+average degree of ``rgg_n_2_20`` is about 13 and its diameter is in the
+hundreds — the canonical "high diameter, uniform degree" class on which
+the paper's work-efficient method shines (Figures 3a, 5a).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..build import from_edges
+from ..csr import CSRGraph
+
+__all__ = ["random_geometric_graph", "rgg_n_2"]
+
+
+def random_geometric_graph(
+    n: int,
+    radius: float | None = None,
+    avg_degree: float = 13.0,
+    seed: int = 0,
+    name: str = "",
+) -> CSRGraph:
+    """Generate a random geometric graph on ``n`` points in the unit square.
+
+    Parameters
+    ----------
+    radius:
+        Connection radius.  Defaults to the radius giving the requested
+        expected ``avg_degree`` (``sqrt(avg_degree / (pi * n))``).
+    """
+    if n <= 0:
+        return CSRGraph(np.zeros(1, dtype=np.int64), np.empty(0, dtype=np.int64),
+                        name=name or "rgg_empty")
+    rng = np.random.default_rng(seed)
+    pts = rng.random((n, 2))
+    if radius is None:
+        radius = math.sqrt(max(avg_degree, 1e-9) / (math.pi * n))
+    from scipy.spatial import cKDTree
+
+    tree = cKDTree(pts)
+    pairs = tree.query_pairs(r=radius, output_type="ndarray")
+    return from_edges(pairs, num_vertices=n, undirected=True,
+                      name=name or f"rgg_n_{n}")
+
+
+def rgg_n_2(scale: int, seed: int = 0, avg_degree: float = 13.0) -> CSRGraph:
+    """DIMACS-style instance ``rgg_n_2_<scale>`` with ``2**scale`` vertices."""
+    n = 1 << int(scale)
+    return random_geometric_graph(
+        n, avg_degree=avg_degree, seed=seed, name=f"rgg_n_2_{scale}"
+    )

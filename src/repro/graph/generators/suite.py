@@ -1,0 +1,139 @@
+"""The Table II benchmark suite, re-creatable at any scale.
+
+Each entry names one of the paper's ten datasets and knows how to build
+a structurally equivalent synthetic instance.  ``scale_factor`` shrinks
+the instance (vertex count divided by the factor) so the full harness
+can run in laptop-sized Python; ``scale_factor=1`` reproduces the
+paper-sized instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from ..csr import CSRGraph
+from .delaunay import delaunay_graph
+from .kronecker import kronecker_graph
+from .mesh import stencil_mesh
+from .rgg import random_geometric_graph
+from .road import road_network
+from .smallworld import watts_strogatz
+from .social import community_graph, geosocial_graph
+from .router import router_topology
+from .webgraph import copying_web_graph
+
+__all__ = ["DatasetSpec", "DATASETS", "make_dataset", "suite", "DATASET_CLASSES"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One Table II row: name, paper-scale size, structural class, builder."""
+
+    name: str
+    paper_vertices: int
+    paper_edges: int
+    graph_class: str  # mesh | road | scale-free | small-world | web | social
+    description: str
+    builder: Callable[[int, int], CSRGraph]  # (num_vertices, seed) -> graph
+
+
+def _af_shell(n: int, seed: int) -> CSRGraph:
+    return stencil_mesh(n, radius=3, aspect=32.0, seed=seed, name="af_shell9")
+
+
+def _caida(n: int, seed: int) -> CSRGraph:
+    return router_topology(n, attach=3, seed=seed, name="caidaRouterLevel")
+
+
+def _cnr(n: int, seed: int) -> CSRGraph:
+    return copying_web_graph(n, out_degree=8, beta=0.3, locality=0.03,
+                             seed=seed, name="cnr-2000")
+
+
+def _amazon(n: int, seed: int) -> CSRGraph:
+    return community_graph(n, mean_community=30, intra_degree=4.0,
+                           inter_degree=2.0, seed=seed, name="com-amazon")
+
+
+def _delaunay(n: int, seed: int) -> CSRGraph:
+    return delaunay_graph(n, seed=seed, name="delaunay_n20")
+
+
+def _kron(n: int, seed: int) -> CSRGraph:
+    scale = max(1, (n - 1).bit_length())
+    return kronecker_graph(scale, edge_factor=16, seed=seed,
+                           name="kron_g500-logn20")
+
+
+def _gowalla(n: int, seed: int) -> CSRGraph:
+    return geosocial_graph(n, exponent=2.25, min_degree=4,
+                           hub_fraction_of_n=0.08, locality=0.6,
+                           locality_window=0.01, seed=seed, name="loc-gowalla")
+
+
+def _luxembourg(n: int, seed: int) -> CSRGraph:
+    return road_network(n, extra_edge_fraction=0.045, seed=seed,
+                        name="luxembourg.osm")
+
+
+def _rgg(n: int, seed: int) -> CSRGraph:
+    return random_geometric_graph(n, avg_degree=13.0, seed=seed,
+                                  name="rgg_n_2_20")
+
+
+def _smallworld(n: int, seed: int) -> CSRGraph:
+    return watts_strogatz(n, k=10, p=0.1, seed=seed, name="smallworld")
+
+
+DATASETS: Dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in [
+        DatasetSpec("af_shell9", 504_855, 8_542_010, "mesh",
+                    "Sheet metal forming", _af_shell),
+        DatasetSpec("caidaRouterLevel", 192_244, 609_066, "scale-free",
+                    "Internet router-level topology", _caida),
+        DatasetSpec("cnr-2000", 325_527, 2_738_969, "web",
+                    "Web crawl", _cnr),
+        DatasetSpec("com-amazon", 334_863, 925_872, "social",
+                    "Amazon product co-purchasing", _amazon),
+        DatasetSpec("delaunay_n20", 1_048_576, 3_145_686, "mesh",
+                    "Random triangulation", _delaunay),
+        DatasetSpec("kron_g500-logn20", 1_048_576, 44_619_402, "scale-free",
+                    "Kronecker", _kron),
+        DatasetSpec("loc-gowalla", 196_591, 1_900_654, "scale-free",
+                    "Geosocial", _gowalla),
+        DatasetSpec("luxembourg.osm", 114_599, 119_666, "road",
+                    "Road map", _luxembourg),
+        DatasetSpec("rgg_n_2_20", 1_048_576, 6_891_620, "mesh",
+                    "Random geometric", _rgg),
+        DatasetSpec("smallworld", 100_000, 499_998, "small-world",
+                    "Small world phenomenon", _smallworld),
+    ]
+}
+
+#: Structural classes the hybrid analysis groups graphs into (Figure 3).
+DATASET_CLASSES = {
+    "high-diameter": ["af_shell9", "delaunay_n20", "luxembourg.osm", "rgg_n_2_20"],
+    "low-diameter": ["caidaRouterLevel", "cnr-2000", "com-amazon",
+                     "kron_g500-logn20", "loc-gowalla", "smallworld"],
+}
+
+
+def make_dataset(name: str, scale_factor: int = 64, seed: int = 0) -> CSRGraph:
+    """Build the named Table II dataset at ``paper_vertices / scale_factor``."""
+    if name not in DATASETS:
+        raise KeyError(f"unknown dataset {name!r}; known: {sorted(DATASETS)}")
+    if scale_factor < 1:
+        raise ValueError("scale_factor must be >= 1")
+    spec = DATASETS[name]
+    n = max(16, spec.paper_vertices // scale_factor)
+    return spec.builder(n, seed)
+
+
+def suite(scale_factor: int = 64, seed: int = 0, names=None):
+    """Yield ``(spec, graph)`` for each Table II dataset (optionally a
+    subset given by ``names``), at the requested scale."""
+    for name in (names or DATASETS):
+        spec = DATASETS[name]
+        yield spec, make_dataset(name, scale_factor=scale_factor, seed=seed)

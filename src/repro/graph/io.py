@@ -1,0 +1,228 @@
+"""Graph file readers/writers for the formats the paper's datasets ship in.
+
+Supported formats:
+
+* **SNAP edge list** (``# comment`` lines, one ``u v`` pair per line) —
+  the Stanford Network Analysis Platform distribution format used for
+  ``loc-gowalla`` and ``com-amazon``.
+* **DIMACS-10 / METIS** adjacency format used by the 10th DIMACS
+  Implementation Challenge graphs (``luxembourg.osm``, ``delaunay_n20``,
+  ``kron_g500-logn20``, ...): a header ``n m`` line followed by one line
+  per vertex listing its (1-indexed) neighbours.
+* **Matrix Market** coordinate pattern format used by the University of
+  Florida Sparse Matrix Collection (``af_shell9``).
+"""
+
+from __future__ import annotations
+
+import io as _io
+import os
+from typing import TextIO
+
+import numpy as np
+
+from ..errors import GraphFormatError
+from .build import from_edges
+from .csr import CSRGraph
+
+__all__ = [
+    "read_snap_edgelist",
+    "write_snap_edgelist",
+    "read_dimacs_metis",
+    "write_dimacs_metis",
+    "read_matrix_market",
+    "write_matrix_market",
+    "load_graph",
+]
+
+
+def _open(path_or_file, mode: str = "r"):
+    if hasattr(path_or_file, "read") or hasattr(path_or_file, "write"):
+        return path_or_file, False
+    return open(path_or_file, mode), True
+
+
+def read_snap_edgelist(path_or_file, undirected: bool = True, name: str = "") -> CSRGraph:
+    """Read a SNAP-style edge list (``#`` comments, whitespace pairs)."""
+    fh, close = _open(path_or_file)
+    try:
+        pairs = []
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise GraphFormatError(f"line {lineno}: expected 'u v', got {line!r}")
+            try:
+                pairs.append((int(parts[0]), int(parts[1])))
+            except ValueError as exc:
+                raise GraphFormatError(f"line {lineno}: non-integer endpoint") from exc
+    finally:
+        if close:
+            fh.close()
+    edges = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+    return from_edges(edges, undirected=undirected, name=name)
+
+
+def write_snap_edgelist(g: CSRGraph, path_or_file) -> None:
+    """Write one direction of each edge in SNAP edge-list format."""
+    fh, close = _open(path_or_file, "w")
+    try:
+        fh.write(f"# repro graph {g.name}\n# n={g.num_vertices} m={g.num_edges}\n")
+        src = g.edge_sources()
+        if g.undirected:
+            mask = src <= g.adj
+            src, dst = src[mask], g.adj[mask]
+        else:
+            dst = g.adj
+        for u, v in zip(src.tolist(), dst.tolist()):
+            fh.write(f"{u}\t{v}\n")
+    finally:
+        if close:
+            fh.close()
+
+
+def read_dimacs_metis(path_or_file, name: str = "") -> CSRGraph:
+    """Read a DIMACS-10/METIS adjacency file (1-indexed, undirected)."""
+    fh, close = _open(path_or_file)
+    try:
+        header = None
+        rows: list[list[int]] = []
+        for lineno, line in enumerate(fh, 1):
+            stripped = line.strip()
+            if stripped.startswith("%"):
+                continue
+            if header is None:
+                if not stripped:
+                    continue  # leading blank lines before the header
+                parts = stripped.split()
+                if len(parts) < 2:
+                    raise GraphFormatError(f"line {lineno}: bad METIS header {line!r}")
+                header = (int(parts[0]), int(parts[1]))
+                continue
+            # After the header every non-comment line is one vertex's
+            # adjacency row; a blank line is an isolated vertex.
+            try:
+                rows.append([int(x) for x in stripped.split()])
+            except ValueError as exc:
+                raise GraphFormatError(f"line {lineno}: non-integer neighbour") from exc
+        if header is None:
+            raise GraphFormatError("missing METIS header line")
+        n, m = header
+        # Tolerate a missing trailing blank line for a final isolated vertex.
+        while len(rows) < n:
+            rows.append([])
+        if len(rows) > n:
+            raise GraphFormatError(f"expected {n} adjacency rows, found {len(rows)}")
+        pairs = []
+        for u, nbrs in enumerate(rows):
+            for v1 in nbrs:
+                if not 1 <= v1 <= n:
+                    raise GraphFormatError(f"vertex id {v1} out of 1..{n}")
+                pairs.append((u, v1 - 1))
+        edges = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+        g = from_edges(edges, num_vertices=n, undirected=True, name=name,
+                       already_symmetric=True)
+        if g.num_edges != m:
+            # METIS headers count undirected edges; tolerate mismatches that
+            # arise from duplicate rows but surface gross corruption.
+            if abs(g.num_edges - m) > m:
+                raise GraphFormatError(
+                    f"header claims {m} edges, file contains {g.num_edges}"
+                )
+        return g
+    finally:
+        if close:
+            fh.close()
+
+
+def write_dimacs_metis(g: CSRGraph, path_or_file) -> None:
+    """Write an undirected graph in METIS adjacency format."""
+    if not g.undirected:
+        raise GraphFormatError("METIS format stores undirected graphs")
+    fh, close = _open(path_or_file, "w")
+    try:
+        fh.write(f"{g.num_vertices} {g.num_edges}\n")
+        for v in range(g.num_vertices):
+            fh.write(" ".join(str(int(w) + 1) for w in g.neighbors(v)) + "\n")
+    finally:
+        if close:
+            fh.close()
+
+
+def read_matrix_market(path_or_file, name: str = "") -> CSRGraph:
+    """Read a Matrix Market coordinate file as an undirected graph.
+
+    Symmetric pattern/real matrices (the UFL collection convention) are
+    supported; entry values are ignored, the sparsity pattern defines the
+    edges, and diagonal entries (self loops) are dropped.
+    """
+    fh, close = _open(path_or_file)
+    try:
+        first = fh.readline()
+        if not first.startswith("%%MatrixMarket"):
+            raise GraphFormatError("missing MatrixMarket banner")
+        tokens = first.split()
+        if len(tokens) < 5 or tokens[1] != "matrix" or tokens[2] != "coordinate":
+            raise GraphFormatError(f"unsupported MatrixMarket header: {first!r}")
+        line = fh.readline()
+        while line.startswith("%"):
+            line = fh.readline()
+        parts = line.split()
+        if len(parts) != 3:
+            raise GraphFormatError(f"bad size line: {line!r}")
+        nrows, ncols, nnz = (int(x) for x in parts)
+        n = max(nrows, ncols)
+        pairs = []
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            parts = line.split()
+            u, v = int(parts[0]) - 1, int(parts[1]) - 1
+            if u != v:
+                pairs.append((u, v))
+        edges = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+        return from_edges(edges, num_vertices=n, undirected=True, name=name)
+    finally:
+        if close:
+            fh.close()
+
+
+def write_matrix_market(g: CSRGraph, path_or_file) -> None:
+    """Write the lower triangle of an undirected graph as a symmetric
+    pattern Matrix Market file."""
+    fh, close = _open(path_or_file, "w")
+    try:
+        fh.write("%%MatrixMarket matrix coordinate pattern symmetric\n")
+        src = g.edge_sources()
+        mask = src >= g.adj if g.undirected else np.ones(src.size, bool)
+        su, sv = src[mask], g.adj[mask]
+        n = g.num_vertices
+        fh.write(f"{n} {n} {su.size}\n")
+        for u, v in zip(su.tolist(), sv.tolist()):
+            fh.write(f"{u + 1} {v + 1}\n")
+    finally:
+        if close:
+            fh.close()
+
+
+_EXTENSIONS = {
+    ".txt": read_snap_edgelist,
+    ".edges": read_snap_edgelist,
+    ".graph": read_dimacs_metis,
+    ".metis": read_dimacs_metis,
+    ".mtx": read_matrix_market,
+}
+
+
+def load_graph(path: str, name: str = "") -> CSRGraph:
+    """Load a graph file, dispatching on its extension."""
+    ext = os.path.splitext(path)[1].lower()
+    reader = _EXTENSIONS.get(ext)
+    if reader is None:
+        raise GraphFormatError(
+            f"unknown graph extension {ext!r}; known: {sorted(_EXTENSIONS)}"
+        )
+    return reader(path, name=name or os.path.basename(path))

@@ -1,0 +1,21 @@
+"""One module per paper table/figure; each exposes ``run()`` returning a
+structured result and ``render()`` producing the paper-comparable text."""
+
+from . import figure1, figure3, figure4, figure5, figure6
+from . import table1, table2, table3, table4
+
+#: Registry used by the CLI: experiment id -> module.
+EXPERIMENTS = {
+    "figure1": figure1,
+    "figure3": figure3,
+    "figure4": figure4,
+    "figure5": figure5,
+    "figure6": figure6,
+    "table1": table1,
+    "table2": table2,
+    "table3": table3,
+    "table4": table4,
+}
+
+__all__ = ["EXPERIMENTS", "figure1", "figure3", "figure4", "figure5",
+           "figure6", "table1", "table2", "table3", "table4"]

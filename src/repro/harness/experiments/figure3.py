@@ -1,0 +1,74 @@
+"""Figure 3 — evolution of vertex frontiers for five graph classes.
+
+Three roots per graph; the series is the per-iteration frontier size
+as a percentage of n.  Reproduction target: rgg / delaunay /
+luxembourg frontiers stay small (peak well under ~10% of n) and evolve
+gradually over many iterations, while kron / smallworld balloon past
+half the graph within a handful of iterations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...metrics.frontier import FrontierEvolution, frontier_evolution
+from ..runner import ExperimentConfig, load_suite_graph, pick_roots
+from ..tables import format_table
+
+__all__ = ["GRAPHS", "Figure3Result", "run", "render"]
+
+GRAPHS = ["rgg_n_2_20", "delaunay_n20", "kron_g500-logn20",
+          "luxembourg.osm", "smallworld"]
+
+
+@dataclass(frozen=True)
+class Figure3Result:
+    series: tuple  # of FrontierEvolution
+
+    def by_graph(self, name: str) -> list:
+        return [s for s in self.series if s.graph == name]
+
+
+def run(cfg: ExperimentConfig | None = None,
+        roots_per_graph: int = 3) -> Figure3Result:
+    cfg = cfg or ExperimentConfig()
+    series = []
+    for name in GRAPHS:
+        g = load_suite_graph(name, cfg)
+        for root in pick_roots(g, roots_per_graph, seed=cfg.seed):
+            series.append(frontier_evolution(g, int(root)))
+    return Figure3Result(series=tuple(series))
+
+
+def render(result: Figure3Result | None = None,
+           cfg: ExperimentConfig | None = None) -> str:
+    r = run(cfg) if result is None else result
+    rows = [
+        (s.graph, s.root, s.num_levels, f"{s.peak_percentage:.2f}%",
+         _sparkline(s))
+        for s in r.series
+    ]
+    return format_table(
+        ["Graph", "Root", "Iterations", "Peak frontier (% of n)", "Shape"],
+        rows,
+        title="Figure 3 — vertex-frontier evolution (three roots per graph)",
+    )
+
+
+_BLOCKS = " .:-=+*#%@"
+
+
+def _sparkline(evo: FrontierEvolution, width: int = 30) -> str:
+    """ASCII sparkline of the frontier series (downsampled to width)."""
+    pct = evo.percentages
+    if pct.size == 0:
+        return ""
+    if pct.size > width:
+        import numpy as np
+
+        idx = np.linspace(0, pct.size - 1, width).astype(int)
+        pct = pct[idx]
+    peak = max(float(pct.max()), 1e-12)
+    chars = [_BLOCKS[min(int(p / peak * (len(_BLOCKS) - 1)), len(_BLOCKS) - 1)]
+             for p in pct]
+    return "".join(chars)

@@ -1,0 +1,89 @@
+"""Figure 6 — multi-GPU scaling by node count for three graph families.
+
+For delaunay, rgg and kron at a few scales, sweep the KIDS node count
+{1, 4, 16, 64} and report speedup over one node (3 GPUs).
+Reproduction targets: near-linear speedup once the per-GPU root count
+is large (bigger scales), visibly sub-linear speedup for the smallest
+scales (fixed setup/communication overheads dominate), and denser
+families reaching linearity at smaller scales than delaunay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...cluster.distributed import scaling_sweep
+from ...cluster.topology import kids
+from ...graph.generators.delaunay import delaunay_n
+from ...graph.generators.kronecker import kron_g500
+from ...graph.generators.rgg import rgg_n_2
+from ..runner import ExperimentConfig
+from ..tables import format_table
+
+__all__ = ["FAMILIES", "Figure6Curve", "Figure6Result", "run", "render"]
+
+FAMILIES = {
+    "delaunay": lambda scale, seed: delaunay_n(scale, seed=seed),
+    "rgg": lambda scale, seed: rgg_n_2(scale, seed=seed),
+    "kron": lambda scale, seed: kron_g500(scale, seed=seed),
+}
+
+DEFAULT_NODE_COUNTS = (1, 4, 16, 64)
+
+
+@dataclass(frozen=True)
+class Figure6Curve:
+    family: str
+    scale: int
+    node_counts: tuple
+    seconds: tuple
+
+    def speedups(self) -> tuple:
+        base = self.seconds[0]
+        return tuple(base / s for s in self.seconds)
+
+
+@dataclass(frozen=True)
+class Figure6Result:
+    curves: tuple
+
+    def curve(self, family: str, scale: int) -> Figure6Curve:
+        for c in self.curves:
+            if c.family == family and c.scale == scale:
+                return c
+        raise KeyError((family, scale))
+
+
+def run(cfg: ExperimentConfig | None = None,
+        scales=(12, 14, 16), node_counts=DEFAULT_NODE_COUNTS,
+        families=None, sample_roots: int = 16) -> Figure6Result:
+    cfg = cfg or ExperimentConfig()
+    curves = []
+    for name in (families or FAMILIES):
+        build = FAMILIES[name]
+        for scale in scales:
+            g = build(int(scale), cfg.seed)
+            runs = scaling_sweep(g, kids(node_counts[0]), node_counts,
+                                 sample_roots=sample_roots, seed=cfg.seed)
+            curves.append(Figure6Curve(
+                family=name, scale=int(scale),
+                node_counts=tuple(int(n) for n in node_counts),
+                seconds=tuple(r.seconds for r in runs),
+            ))
+    return Figure6Result(curves=tuple(curves))
+
+
+def render(result: Figure6Result | None = None,
+           cfg: ExperimentConfig | None = None, **kwargs) -> str:
+    r = run(cfg, **kwargs) if result is None else result
+    rows = []
+    for c in sorted(r.curves, key=lambda c: (c.family, c.scale)):
+        speedups = c.speedups()
+        for nodes, secs, sp in zip(c.node_counts, c.seconds, speedups):
+            rows.append((c.family, c.scale, nodes, nodes * 3,
+                         f"{secs:.2f}", f"{sp:.1f}x"))
+    return format_table(
+        ["Family", "Scale", "Nodes", "GPUs", "Time (s)", "Speedup vs 1 node"],
+        rows,
+        title="Figure 6 — multi-GPU scaling on the simulated KIDS cluster",
+    )

@@ -1,0 +1,57 @@
+"""Plain-text table rendering for experiment output.
+
+Keeps the harness dependency-free: every experiment prints fixed-width
+tables comparable, row for row, with the paper's tables.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_kv", "format_series"]
+
+
+def _fmt_cell(value) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000 or (abs(value) < 0.01 and value != 0):
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".") if "." in f"{value:.3f}" else f"{value:.3f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 title: str = "") -> str:
+    """Render a fixed-width table with a separator under the header."""
+    srows = [[_fmt_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in srows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match header width")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in srows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_kv(pairs: dict, title: str = "") -> str:
+    """Render key/value pairs, one per line."""
+    width = max((len(str(k)) for k in pairs), default=0)
+    lines = [title] if title else []
+    for k, v in pairs.items():
+        lines.append(f"{str(k).ljust(width)} : {_fmt_cell(v)}")
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence, ys: Sequence,
+                  x_label: str = "x", y_label: str = "y") -> str:
+    """Render one figure curve as a two-column block."""
+    rows = list(zip(xs, ys))
+    return format_table([x_label, y_label], rows, title=name)

@@ -1,0 +1,19 @@
+"""Measurement utilities: TEPS, correlations, frontier evolution."""
+
+from .correlation import FrontierCorrelation, frontier_time_correlations, pearson
+from .frontier import FrontierEvolution, classify_frontier_shape, frontier_evolution
+from .teps import TEPSReport, format_teps, gteps, mteps, teps
+
+__all__ = [
+    "pearson",
+    "FrontierCorrelation",
+    "frontier_time_correlations",
+    "FrontierEvolution",
+    "frontier_evolution",
+    "classify_frontier_shape",
+    "teps",
+    "mteps",
+    "gteps",
+    "format_teps",
+    "TEPSReport",
+]

@@ -1,0 +1,63 @@
+"""Frontier-evolution measurements (Figure 3).
+
+Figure 3 plots, for three randomly chosen roots per graph, the vertex
+frontier of each BFS iteration as a percentage of total vertices.  The
+qualitative split it demonstrates — high-diameter graphs keep small,
+slowly-evolving frontiers; small-world/scale-free graphs balloon to
+half the graph within a few iterations — is the empirical basis of the
+hybrid strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..graph.traversal import bfs
+
+__all__ = ["FrontierEvolution", "frontier_evolution", "classify_frontier_shape"]
+
+
+@dataclass(frozen=True)
+class FrontierEvolution:
+    """Frontier series of one (graph, root) pair."""
+
+    graph: str
+    root: int
+    sizes: np.ndarray       # vertices per level
+    percentages: np.ndarray  # sizes / n * 100
+
+    @property
+    def num_levels(self) -> int:
+        return int(self.sizes.size)
+
+    @property
+    def peak_percentage(self) -> float:
+        """Largest frontier as a percentage of n (Figure 3's y peak)."""
+        return float(self.percentages.max(initial=0.0))
+
+
+def frontier_evolution(g: CSRGraph, root: int) -> FrontierEvolution:
+    """Measure the vertex-frontier series from ``root``."""
+    sizes = bfs(g, int(root)).vertex_frontier_sizes()
+    n = max(g.num_vertices, 1)
+    return FrontierEvolution(
+        graph=g.name or "graph",
+        root=int(root),
+        sizes=sizes,
+        percentages=sizes.astype(np.float64) / n * 100.0,
+    )
+
+
+def classify_frontier_shape(evo: FrontierEvolution,
+                            large_threshold_pct: float = 10.0) -> str:
+    """Coarse classification of a frontier series.
+
+    ``"ballooning"`` — some frontier exceeds ``large_threshold_pct`` of
+    the graph (small-world / scale-free behaviour, Figure 3c/3e);
+    ``"gradual"`` — frontiers stay small throughout (high-diameter
+    behaviour, Figure 3a/3b/3d).
+    """
+    return "ballooning" if evo.peak_percentage > large_threshold_pct else "gradual"

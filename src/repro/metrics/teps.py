@@ -1,0 +1,69 @@
+"""Traversed-edges-per-second accounting (Eq. 4).
+
+For exact BC over all n roots the paper (following Sarıyüce et al.)
+defines ``TEPS_BC = m * n / t`` with m the number of undirected edges.
+Partial runs over k roots use ``m * k / t``, which extrapolates to the
+same figure under uniform per-root cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["teps", "mteps", "gteps", "format_teps", "TEPSReport"]
+
+
+def teps(num_edges: int, num_roots: int, seconds: float) -> float:
+    """``m * k / t`` — Eq. 4 restricted to ``k`` processed roots."""
+    if seconds < 0:
+        raise ValueError("seconds must be non-negative")
+    if seconds == 0:
+        return float("inf")
+    return float(num_edges) * float(num_roots) / float(seconds)
+
+
+def mteps(num_edges: int, num_roots: int, seconds: float) -> float:
+    """Millions of traversed edges per second (Table III units)."""
+    return teps(num_edges, num_roots, seconds) / 1e6
+
+
+def gteps(num_edges: int, num_roots: int, seconds: float) -> float:
+    """Billions of traversed edges per second (Table IV units)."""
+    return teps(num_edges, num_roots, seconds) / 1e9
+
+
+def format_teps(value: float) -> str:
+    """Human-readable TEPS with the unit the paper would use."""
+    if value >= 1e9:
+        return f"{value / 1e9:.2f} GTEPS"
+    if value >= 1e6:
+        return f"{value / 1e6:.2f} MTEPS"
+    if value >= 1e3:
+        return f"{value / 1e3:.2f} KTEPS"
+    return f"{value:.2f} TEPS"
+
+
+@dataclass(frozen=True)
+class TEPSReport:
+    """A (graph, method) performance record used by the Table III rows."""
+
+    graph: str
+    method: str
+    num_vertices: int
+    num_edges: int
+    num_roots: int
+    seconds: float
+
+    @property
+    def teps(self) -> float:
+        return teps(self.num_edges, self.num_roots, self.seconds)
+
+    @property
+    def mteps(self) -> float:
+        return self.teps / 1e6
+
+    def speedup_over(self, other: "TEPSReport") -> float:
+        """Time ratio other/self (how much faster self is)."""
+        if self.seconds == 0:
+            return float("inf")
+        return other.seconds / self.seconds

@@ -1,0 +1,58 @@
+"""Unit tests for the adaptive single-vertex BC estimator (ref [3])."""
+
+import numpy as np
+import pytest
+
+from repro.bc.approx import adaptive_vertex_bc
+from repro.bc.brandes import brandes_reference
+from repro.graph.generators import watts_strogatz
+
+
+class TestAdaptiveVertexBC:
+    def test_exact_at_full_samples(self, fig1):
+        # With max_samples = n and a huge stopping constant, every root
+        # is sampled and the estimate is exact.
+        exact = brandes_reference(fig1)
+        for v in range(9):
+            est = adaptive_vertex_bc(fig1, v, c=1e18, seed=1)
+            assert est.samples_used == 9
+            assert not est.converged
+            assert est.estimate == pytest.approx(exact[v])
+
+    def test_high_bc_vertex_converges_early(self):
+        g = watts_strogatz(400, k=6, p=0.05, seed=2)
+        exact = brandes_reference(g)
+        hub = int(np.argmax(exact))
+        est = adaptive_vertex_bc(g, hub, c=2.0, seed=0)
+        assert est.converged
+        assert est.samples_used < g.num_vertices // 2
+        # Within a constant factor (the Bader et al. guarantee).
+        assert est.estimate == pytest.approx(exact[hub], rel=0.6)
+
+    def test_zero_bc_vertex(self, star):
+        # Leaves never accumulate dependency: runs to the cap, gives 0.
+        est = adaptive_vertex_bc(star, 1, c=1.0, max_samples=5, seed=0)
+        assert est.samples_used == 5
+        assert not est.converged
+        assert est.estimate == 0.0
+
+    def test_sample_cap_respected(self, fig1):
+        est = adaptive_vertex_bc(fig1, 3, c=1e18, max_samples=3, seed=0)
+        assert est.samples_used == 3
+
+    def test_validation(self, fig1):
+        with pytest.raises(IndexError):
+            adaptive_vertex_bc(fig1, 99)
+        with pytest.raises(ValueError):
+            adaptive_vertex_bc(fig1, 0, c=0.0)
+
+    def test_deterministic_under_seed(self, fig1):
+        a = adaptive_vertex_bc(fig1, 3, c=1.0, seed=7)
+        b = adaptive_vertex_bc(fig1, 3, c=1.0, seed=7)
+        assert a == b
+
+    def test_unbiased_over_seeds(self, fig1):
+        exact = brandes_reference(fig1)[3]
+        ests = [adaptive_vertex_bc(fig1, 3, c=1e18, max_samples=4,
+                                   seed=s).estimate for s in range(80)]
+        assert np.mean(ests) == pytest.approx(exact, rel=0.2)

@@ -1,0 +1,90 @@
+"""Unit tests for the batched multi-root BC engine."""
+
+import numpy as np
+import pytest
+
+from repro.bc.api import betweenness_centrality
+from repro.bc.batched import batched_betweenness_centrality, batched_dependencies
+from repro.bc.brandes import brandes_reference
+from repro.graph.build import from_edges
+from tests.conftest import random_graph
+
+
+class TestBatchedDependencies:
+    def test_rows_match_per_root(self, fig1):
+        from repro.bc.api import bc_single_source_dependencies
+
+        roots = np.arange(9)
+        delta = batched_dependencies(fig1, roots)
+        for r, s in enumerate(roots):
+            assert np.allclose(delta[r], bc_single_source_dependencies(fig1, s))
+
+    def test_empty_batch(self, fig1):
+        assert batched_dependencies(fig1, np.array([])).shape == (0, 9)
+
+    def test_roots_out_of_range(self, fig1):
+        with pytest.raises(IndexError):
+            batched_dependencies(fig1, np.array([99]))
+
+    def test_duplicate_roots_allowed(self, fig1):
+        delta = batched_dependencies(fig1, np.array([3, 3]))
+        assert np.allclose(delta[0], delta[1])
+
+
+class TestBatchedBC:
+    @pytest.mark.parametrize("batch_size", [1, 3, 7, 64])
+    def test_matches_engine(self, fig1, batch_size):
+        got = batched_betweenness_centrality(fig1, batch_size=batch_size)
+        assert np.allclose(got, betweenness_centrality(fig1))
+
+    def test_matches_on_structures(self, cycle6, star, two_components,
+                                   small_sw, small_kron):
+        for g in (cycle6, star, two_components, small_sw, small_kron):
+            got = batched_betweenness_centrality(g, batch_size=32)
+            assert np.allclose(got, betweenness_centrality(g)), g.name
+
+    def test_random_graphs(self):
+        for seed in range(3):
+            g = random_graph(24, 0.15, seed)
+            got = batched_betweenness_centrality(g)
+            assert np.allclose(got, brandes_reference(g))
+
+    def test_directed(self):
+        g = from_edges([(0, 1), (1, 2), (2, 0), (1, 3)], undirected=False)
+        got = batched_betweenness_centrality(g)
+        assert np.allclose(got, brandes_reference(g))
+
+    def test_sources_subset(self, fig1):
+        got = batched_betweenness_centrality(fig1, sources=[0, 4, 8])
+        assert np.allclose(got, betweenness_centrality(fig1,
+                                                       sources=[0, 4, 8]))
+
+    def test_normalized(self, fig1):
+        got = batched_betweenness_centrality(fig1, normalized=True)
+        assert np.allclose(got, betweenness_centrality(fig1, normalized=True))
+
+    def test_bad_batch_size(self, fig1):
+        with pytest.raises(ValueError):
+            batched_betweenness_centrality(fig1, batch_size=0)
+
+    def test_overflow_fallback(self):
+        """A deep wide-path graph overflows the batched sigma; the
+        wrapper must fall back to the per-root engine and stay exact."""
+        edges = []
+        prev = [0]
+        nxt = 1
+        for _ in range(380):  # 8^379 >> float64 max (~1.8e308)
+            layer = list(range(nxt, nxt + 8))
+            nxt += 8
+            edges.extend((p, q) for p in prev for q in layer)
+            prev = layer
+        g = from_edges(edges)
+        with pytest.raises(FloatingPointError):
+            batched_dependencies(g, np.array([0]))
+        got = batched_betweenness_centrality(g, sources=[0])
+        expect = betweenness_centrality(g, sources=[0])
+        assert np.allclose(got, expect, rtol=1e-9)
+
+    def test_isolated_roots(self, two_components):
+        got = batched_betweenness_centrality(two_components, sources=[6])
+        assert np.all(got == 0)

@@ -1,0 +1,103 @@
+"""Unit tests for the serial Brandes reference."""
+
+import numpy as np
+import pytest
+
+from repro.bc.brandes import brandes_reference, brandes_single_source, normalize_bc
+from repro.graph.build import from_edges, to_networkx
+
+
+def nx_bc(g, normalized=False):
+    import networkx as nx
+
+    d = nx.betweenness_centrality(to_networkx(g), normalized=normalized)
+    return np.array([d[i] for i in range(g.num_vertices)])
+
+
+class TestSingleSource:
+    def test_path_counts(self, cycle6):
+        d, sigma, order = brandes_single_source(cycle6, 0)
+        assert d.tolist() == [0, 1, 2, 3, 2, 1]
+        # Opposite vertex has two shortest paths.
+        assert sigma[3] == 2.0
+        assert sigma[1] == sigma[5] == 1.0
+
+    def test_order_nondecreasing_distance(self, fig1):
+        d, _, order = brandes_single_source(fig1, 0)
+        dist_seq = [d[v] for v in order]
+        assert dist_seq == sorted(dist_seq)
+
+    def test_unreachable(self, two_components):
+        d, sigma, order = brandes_single_source(two_components, 0)
+        assert d[4] == -1 and sigma[4] == 0.0
+        assert len(order) == 3
+
+
+class TestReference:
+    def test_figure1_matches_paper_claims(self, fig1):
+        bc = brandes_reference(fig1)
+        # Vertex 4 (index 3) is the cut vertex with the highest score.
+        assert np.argmax(bc) == 3
+        # Vertices 8 and 9 (indices 7, 8) score zero.
+        assert bc[7] == pytest.approx(0.0)
+        assert bc[8] == pytest.approx(0.0)
+
+    def test_path_graph_closed_form(self, path5):
+        # Interior vertex i of an n-path: i*(n-1-i) pairs pass through.
+        bc = brandes_reference(path5)
+        assert bc.tolist() == [0.0, 3.0, 4.0, 3.0, 0.0]
+
+    def test_star_closed_form(self, star):
+        bc = brandes_reference(star)
+        assert bc[0] == pytest.approx(6 * 5 / 2)
+        assert np.all(bc[1:] == 0)
+
+    def test_matches_networkx(self, fig1, cycle6, two_components, small_sw):
+        for g in (fig1, cycle6, two_components):
+            assert np.allclose(brandes_reference(g), nx_bc(g))
+
+    def test_matches_networkx_random(self):
+        from tests.conftest import random_graph
+
+        for seed in range(4):
+            g = random_graph(25, 0.15, seed)
+            assert np.allclose(brandes_reference(g), nx_bc(g))
+
+    def test_subset_sources(self, fig1):
+        full = brandes_reference(fig1)
+        parts = sum(
+            (brandes_reference(fig1, sources=[s]) for s in range(9)),
+            np.zeros(9),
+        )
+        assert np.allclose(full, parts)
+
+    def test_normalized_matches_networkx(self, fig1):
+        assert np.allclose(
+            brandes_reference(fig1, normalized=True), nx_bc(fig1, normalized=True)
+        )
+
+    def test_directed(self):
+        import networkx as nx
+
+        g = from_edges([(0, 1), (1, 2), (2, 0), (1, 3)], undirected=False)
+        d = nx.betweenness_centrality(to_networkx(g), normalized=False)
+        expect = np.array([d[i] for i in range(4)])
+        assert np.allclose(brandes_reference(g), expect)
+
+
+class TestNormalize:
+    def test_small_n_zero(self):
+        assert np.all(normalize_bc(np.array([1.0, 2.0]), 2) == 0)
+
+    def test_scale_undirected(self):
+        out = normalize_bc(np.array([6.0]), 4, undirected=True)
+        assert out[0] == pytest.approx(6.0 / 3.0)
+
+    def test_scale_directed(self):
+        out = normalize_bc(np.array([6.0]), 4, undirected=False)
+        assert out[0] == pytest.approx(1.0)
+
+    def test_copy_semantics(self):
+        x = np.array([3.0])
+        out = normalize_bc(x, 5, copy=True)
+        assert x[0] == 3.0 and out[0] != 3.0

@@ -1,0 +1,143 @@
+"""Unit tests for incremental BC updates (insert/delete edge)."""
+
+import numpy as np
+import pytest
+
+from repro.bc.api import betweenness_centrality
+from repro.bc.dynamic import affected_sources, delete_edge, insert_edge
+from repro.errors import GraphStructureError
+from repro.graph.build import from_edges
+from tests.conftest import random_graph
+
+
+def _check_insert(g, u, v):
+    bc = betweenness_centrality(g)
+    g2, bc2, stats = insert_edge(g, bc, u, v)
+    full = betweenness_centrality(g2)
+    assert np.allclose(bc2, full, rtol=1e-9, atol=1e-9)
+    return g2, bc2, stats
+
+
+def _check_delete(g, u, v):
+    bc = betweenness_centrality(g)
+    g2, bc2, stats = delete_edge(g, bc, u, v)
+    full = betweenness_centrality(g2)
+    assert np.allclose(bc2, full, rtol=1e-9, atol=1e-9)
+    return g2, bc2, stats
+
+
+class TestInsert:
+    def test_path_shortcut(self, path5):
+        # Shortcut 0-4 turns the path into a cycle: interior BC drops.
+        g2, bc2, stats = _check_insert(path5, 0, 4)
+        assert g2.num_edges == 5
+        assert bc2[2] < betweenness_centrality(path5)[2]
+
+    def test_figure1_new_bridge(self, fig1):
+        _check_insert(fig1, 1, 8)  # paper vertices 2 and 9
+
+    def test_equidistant_insert_affects_nothing(self, cycle6):
+        # 1 and 5 are equidistant from every vertex on an even cycle?
+        # Use the star instead: all leaves are equidistant from all
+        # other leaves' perspective except themselves.
+        g = from_edges([(0, i) for i in range(1, 5)])
+        bc = betweenness_centrality(g)
+        g2, bc2, stats = insert_edge(g, bc, 1, 2)
+        # Leaves 3, 4 and hub 0 see d(s,1) == d(s,2): unaffected.
+        assert stats.num_affected == 2  # only s=1 and s=2 themselves
+        assert np.allclose(bc2, betweenness_centrality(g2))
+
+    def test_cross_component_insert(self, two_components):
+        g2, bc2, stats = _check_insert(two_components, 0, 3)
+        # Joining two triangles: every vertex of both is affected.
+        assert stats.num_affected >= 6
+
+    def test_isolated_vertex_connection(self, two_components):
+        _check_insert(two_components, 6, 0)
+
+    def test_existing_edge_rejected(self, fig1):
+        bc = betweenness_centrality(fig1)
+        with pytest.raises(GraphStructureError):
+            insert_edge(fig1, bc, 0, 1)  # paper edge 1-2 exists
+
+    def test_self_loop_rejected(self, fig1):
+        with pytest.raises(GraphStructureError):
+            insert_edge(fig1, betweenness_centrality(fig1), 3, 3)
+
+    def test_out_of_range(self, fig1):
+        with pytest.raises(IndexError):
+            insert_edge(fig1, betweenness_centrality(fig1), 0, 42)
+
+    def test_directed_rejected(self):
+        g = from_edges([(0, 1)], undirected=False)
+        with pytest.raises(GraphStructureError):
+            insert_edge(g, np.zeros(2), 1, 0)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_graphs_exact(self, seed):
+        g = random_graph(14, 0.2, seed)
+        rng = np.random.default_rng(seed)
+        # find a non-edge
+        for _ in range(100):
+            u, v = rng.integers(0, 14, size=2)
+            if u != v and not np.any(g.neighbors(int(u)) == v):
+                _check_insert(g, int(u), int(v))
+                break
+
+
+class TestDelete:
+    def test_cycle_break(self, cycle6):
+        g2, bc2, stats = _check_delete(cycle6, 0, 1)
+        # Breaking the cycle leaves a path: interior vertices gain BC.
+        assert bc2.max() > betweenness_centrality(cycle6).max()
+
+    def test_figure1_cut_edge(self, fig1):
+        _check_delete(fig1, 3, 4)  # paper edge 4-5: disconnects halves
+
+    def test_missing_edge_rejected(self, fig1):
+        with pytest.raises(GraphStructureError):
+            delete_edge(fig1, betweenness_centrality(fig1), 0, 8)
+
+    def test_roundtrip_insert_then_delete(self, fig1):
+        bc = betweenness_centrality(fig1)
+        g2, bc2, _ = insert_edge(fig1, bc, 1, 8)
+        g3, bc3, _ = delete_edge(g2, bc2, 1, 8)
+        assert np.allclose(bc3, bc, rtol=1e-9, atol=1e-9)
+        assert g3.num_edges == fig1.num_edges
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_graphs_exact(self, seed):
+        g = random_graph(14, 0.25, seed)
+        if g.num_edges == 0:
+            return
+        src = g.edge_sources()
+        u, v = int(src[0]), int(g.adj[0])
+        _check_delete(g, u, v)
+
+
+class TestAffectedSources:
+    def test_deleted_edge_bounded_by_one_level(self, fig1):
+        # Every existing edge satisfies |d(s,u)-d(s,v)| <= 1, so the
+        # affected set is exactly the diff==1 roots.
+        src = fig1.edge_sources()
+        for i in range(0, src.size, 3):
+            u, v = int(src[i]), int(fig1.adj[i])
+            aff = affected_sources(fig1, u, v)
+            from repro.graph.traversal import bfs_distances
+
+            du, dv = bfs_distances(fig1, u), bfs_distances(fig1, v)
+            expect = np.flatnonzero(np.abs(du - dv) == 1)
+            assert np.array_equal(aff, expect)
+
+    def test_savings_reporting(self, small_road):
+        bc = betweenness_centrality(
+            small_road, sources=range(small_road.num_vertices)
+        )
+        # Delete an existing edge: stats expose the filter's saving.
+        u = int(small_road.edge_sources()[0])
+        v = int(small_road.adj[0])
+        _, _, stats = delete_edge(small_road, bc, u, v)
+        assert 0.0 <= stats.affected_fraction <= 1.0
+        assert stats.savings_fraction == pytest.approx(
+            1.0 - stats.affected_fraction
+        )

@@ -1,0 +1,42 @@
+"""Unit tests for interconnect models."""
+
+import pytest
+
+from repro.cluster.interconnect import INFINIBAND_QDR, PCIE2_X16, LinkModel
+from repro.errors import ClusterConfigurationError
+
+
+class TestLinkModel:
+    def test_transfer_alpha_beta(self):
+        link = LinkModel("t", latency_s=1e-6, bandwidth_bytes_per_s=1e9)
+        assert link.transfer_seconds(0) == pytest.approx(1e-6)
+        assert link.transfer_seconds(10**9) == pytest.approx(1.000001)
+
+    def test_negative_bytes(self):
+        with pytest.raises(ValueError):
+            INFINIBAND_QDR.transfer_seconds(-1)
+
+    def test_tree_collective_rounds(self):
+        link = LinkModel("t", 0.0, 1e9)
+        one = link.transfer_seconds(1000)
+        assert link.tree_collective_seconds(1000, 2) == pytest.approx(one)
+        assert link.tree_collective_seconds(1000, 8) == pytest.approx(3 * one)
+        assert link.tree_collective_seconds(1000, 9) == pytest.approx(4 * one)
+
+    def test_single_rank_free(self):
+        assert INFINIBAND_QDR.tree_collective_seconds(10**9, 1) == 0.0
+
+    def test_bad_ranks(self):
+        with pytest.raises(ClusterConfigurationError):
+            INFINIBAND_QDR.tree_collective_seconds(1, 0)
+
+    def test_validation(self):
+        with pytest.raises(ClusterConfigurationError):
+            LinkModel("x", -1.0, 1e9)
+        with pytest.raises(ClusterConfigurationError):
+            LinkModel("x", 0.0, 0.0)
+
+    def test_presets_sensible(self):
+        # PCIe has higher bandwidth than QDR IB in this configuration.
+        assert PCIE2_X16.bandwidth_bytes_per_s > INFINIBAND_QDR.bandwidth_bytes_per_s
+        assert INFINIBAND_QDR.latency_s < PCIE2_X16.latency_s

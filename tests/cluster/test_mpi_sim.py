@@ -1,0 +1,87 @@
+"""Unit tests for the in-process MPI-like communicator."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.interconnect import INFINIBAND_QDR
+from repro.cluster.mpi_sim import SimComm
+from repro.errors import CommunicatorError
+
+
+class TestCollectives:
+    def test_bcast(self):
+        comm = SimComm(4)
+        out = comm.bcast({"x": 1})
+        assert len(out) == 4 and all(v == {"x": 1} for v in out)
+
+    def test_scatter_gather_roundtrip(self):
+        comm = SimComm(3)
+        values = [10, 20, 30]
+        scattered = comm.scatter(values)
+        gathered = comm.gather(scattered)
+        assert gathered == values
+
+    def test_allgather(self):
+        comm = SimComm(2)
+        out = comm.allgather(["a", "b"])
+        assert out == [["a", "b"], ["a", "b"]]
+
+    def test_reduce_numpy_sum(self):
+        comm = SimComm(3)
+        vals = [np.arange(4, dtype=float) * (i + 1) for i in range(3)]
+        out = comm.reduce(vals)
+        assert np.allclose(out, np.arange(4) * 6.0)
+
+    def test_reduce_does_not_mutate_inputs(self):
+        comm = SimComm(2)
+        a = np.ones(3)
+        b = np.ones(3)
+        comm.reduce([a, b])
+        assert np.all(a == 1.0)
+
+    def test_reduce_custom_op(self):
+        comm = SimComm(3)
+        assert comm.reduce([5, 2, 9], op=max) == 9
+
+    def test_allreduce(self):
+        comm = SimComm(2)
+        out = comm.allreduce([np.ones(2), np.ones(2)])
+        assert len(out) == 2
+        assert np.all(out[0] == 2.0)
+        out[0][0] = 99  # copies must be independent
+        assert out[1][0] == 2.0
+
+    def test_size_mismatch(self):
+        comm = SimComm(3)
+        with pytest.raises(CommunicatorError):
+            comm.reduce([1, 2])
+
+    def test_bad_root(self):
+        comm = SimComm(2)
+        with pytest.raises(CommunicatorError):
+            comm.bcast(1, root=5)
+
+    def test_bad_size(self):
+        with pytest.raises(CommunicatorError):
+            SimComm(0)
+
+
+class TestCommCosting:
+    def test_charges_accumulate(self):
+        comm = SimComm(4, link=INFINIBAND_QDR)
+        assert comm.elapsed_comm_seconds == 0.0
+        comm.bcast(np.zeros(1000))
+        first = comm.elapsed_comm_seconds
+        assert first > 0
+        comm.reduce([np.zeros(1000)] * 4)
+        assert comm.elapsed_comm_seconds > first
+
+    def test_no_link_no_charge(self):
+        comm = SimComm(4)
+        comm.bcast(np.zeros(1000))
+        assert comm.elapsed_comm_seconds == 0.0
+
+    def test_barrier(self):
+        comm = SimComm(4, link=INFINIBAND_QDR)
+        comm.barrier()
+        assert comm.elapsed_comm_seconds > 0.0

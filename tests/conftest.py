@@ -1,0 +1,89 @@
+"""Shared fixtures: small deterministic graphs used across the suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.build import from_edges
+from repro.graph.generators import (
+    delaunay_graph,
+    figure1_graph,
+    kronecker_graph,
+    random_geometric_graph,
+    road_network,
+    watts_strogatz,
+)
+
+
+@pytest.fixture
+def fig1():
+    """The paper's 9-vertex running example."""
+    return figure1_graph()
+
+
+@pytest.fixture
+def path5():
+    """A 5-vertex path 0-1-2-3-4."""
+    return from_edges([(0, 1), (1, 2), (2, 3), (3, 4)], name="path5")
+
+
+@pytest.fixture
+def star():
+    """A star: vertex 0 connected to 1..6."""
+    return from_edges([(0, i) for i in range(1, 7)], name="star7")
+
+
+@pytest.fixture
+def cycle6():
+    """A 6-cycle."""
+    return from_edges([(i, (i + 1) % 6) for i in range(6)], name="cycle6")
+
+
+@pytest.fixture
+def two_components():
+    """Two disjoint triangles plus one isolated vertex (vertex 6)."""
+    return from_edges(
+        [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)],
+        num_vertices=7, name="two_triangles",
+    )
+
+
+@pytest.fixture
+def small_mesh():
+    """A small Delaunay mesh (~120 vertices)."""
+    return delaunay_graph(120, seed=7)
+
+
+@pytest.fixture
+def small_sw():
+    """A small Watts-Strogatz graph."""
+    return watts_strogatz(150, k=6, p=0.1, seed=3)
+
+
+@pytest.fixture
+def small_kron():
+    """A small Kronecker graph (has isolated vertices)."""
+    return kronecker_graph(8, edge_factor=8, seed=5)
+
+
+@pytest.fixture
+def small_road():
+    """A small road network (high diameter)."""
+    return road_network(200, seed=11)
+
+
+@pytest.fixture
+def small_rgg():
+    """A small random geometric graph."""
+    return random_geometric_graph(180, avg_degree=8.0, seed=13)
+
+
+def random_graph(n: int, p: float, seed: int, num_vertices=None):
+    """Erdős–Rényi helper used by several test modules."""
+    rng = np.random.default_rng(seed)
+    iu = np.triu_indices(n, k=1)
+    mask = rng.random(iu[0].size) < p
+    edges = np.column_stack([iu[0][mask], iu[1][mask]])
+    return from_edges(edges, num_vertices=num_vertices or n,
+                      name=f"gnp_{n}_{p}")

@@ -1,0 +1,45 @@
+"""Unit tests for GPU specifications."""
+
+import pytest
+
+from repro.errors import DeviceConfigurationError
+from repro.gpusim.spec import GTX_TITAN, TESLA_M2090, GPUSpec
+
+
+class TestPresets:
+    def test_titan_matches_paper(self):
+        # Section V-A: 14 SMs, 837 MHz, 6 GB, compute capability 3.5.
+        assert GTX_TITAN.num_sms == 14
+        assert GTX_TITAN.clock_hz == pytest.approx(837e6)
+        assert GTX_TITAN.memory_bytes == 6 * 1024**3
+        assert GTX_TITAN.compute_capability == "3.5"
+
+    def test_m2090_matches_paper(self):
+        # Section V-A: 16 SMs, 1.3 GHz, 6 GB, compute capability 2.0.
+        assert TESLA_M2090.num_sms == 16
+        assert TESLA_M2090.clock_hz == pytest.approx(1.3e9)
+        assert TESLA_M2090.compute_capability == "2.0"
+
+    def test_total_threads(self):
+        assert GTX_TITAN.total_threads == 14 * 256
+
+    def test_seconds(self):
+        assert GTX_TITAN.seconds(837e6) == pytest.approx(1.0)
+
+
+class TestValidation:
+    def test_bad_sms(self):
+        with pytest.raises(DeviceConfigurationError):
+            GPUSpec("x", 0, 1e9, 1024)
+
+    def test_bad_clock(self):
+        with pytest.raises(DeviceConfigurationError):
+            GPUSpec("x", 1, 0, 1024)
+
+    def test_bad_memory(self):
+        with pytest.raises(DeviceConfigurationError):
+            GPUSpec("x", 1, 1e9, 0)
+
+    def test_bad_threads(self):
+        with pytest.raises(DeviceConfigurationError):
+            GPUSpec("x", 1, 1e9, 1024, concurrent_threads_per_sm=0)

@@ -1,0 +1,57 @@
+"""Unit tests for trace containers."""
+
+import numpy as np
+
+from repro.gpusim.trace import LevelTrace, RootTrace, RunTrace
+
+
+def _lv(depth, stage, strategy="work-efficient", f=1, ef=2, cycles=10.0):
+    return LevelTrace(depth=depth, stage=stage, strategy=strategy,
+                      frontier_size=f, edge_frontier=ef, cycles=cycles)
+
+
+class TestRootTrace:
+    def test_cycles_sum(self):
+        rt = RootTrace(root=0)
+        rt.add(_lv(0, "forward", cycles=5))
+        rt.add(_lv(1, "forward", cycles=7))
+        rt.add(_lv(1, "backward", cycles=3))
+        assert rt.cycles == 15
+
+    def test_max_depth_forward_only(self):
+        rt = RootTrace(root=0)
+        rt.add(_lv(0, "forward"))
+        rt.add(_lv(1, "forward"))
+        rt.add(_lv(1, "backward"))
+        assert rt.max_depth == 1
+
+    def test_empty(self):
+        rt = RootTrace(root=0)
+        assert rt.max_depth == 0 and rt.cycles == 0
+
+    def test_series(self):
+        rt = RootTrace(root=0)
+        rt.add(_lv(0, "forward", f=1, ef=3, cycles=4))
+        rt.add(_lv(1, "forward", f=5, ef=9, cycles=8))
+        rt.add(_lv(1, "backward", f=5, ef=9, cycles=2))
+        assert rt.vertex_frontier_sizes().tolist() == [1, 5]
+        assert rt.edge_frontier_sizes().tolist() == [3, 9]
+        assert rt.forward_cycles().tolist() == [4, 8]
+
+    def test_strategies_used_dedup(self):
+        rt = RootTrace(root=0)
+        rt.add(_lv(0, "forward", strategy="work-efficient"))
+        rt.add(_lv(1, "forward", strategy="edge-parallel"))
+        rt.add(_lv(2, "forward", strategy="work-efficient"))
+        assert rt.strategies_used() == ["work-efficient", "edge-parallel"]
+
+
+class TestRunTrace:
+    def test_totals(self):
+        run = RunTrace()
+        for i in range(3):
+            rt = RootTrace(root=i)
+            rt.add(_lv(0, "forward", cycles=10))
+            run.roots.append(rt)
+        assert run.total_root_cycles == 30
+        assert run.max_depths().tolist() == [0, 0, 0]

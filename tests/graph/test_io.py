@@ -1,0 +1,129 @@
+"""Unit tests for graph file readers/writers."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.io import (
+    load_graph,
+    read_dimacs_metis,
+    read_matrix_market,
+    read_snap_edgelist,
+    write_dimacs_metis,
+    write_matrix_market,
+    write_snap_edgelist,
+)
+
+
+class TestSnap:
+    def test_read_basic(self):
+        text = "# comment\n0 1\n1\t2\n"
+        g = read_snap_edgelist(io.StringIO(text))
+        assert g.num_vertices == 3 and g.num_edges == 2
+
+    def test_blank_lines_and_comments(self):
+        g = read_snap_edgelist(io.StringIO("#a\n\n0 1\n\n# b\n2 0\n"))
+        assert g.num_edges == 2
+
+    def test_bad_line(self):
+        with pytest.raises(GraphFormatError):
+            read_snap_edgelist(io.StringIO("0\n"))
+
+    def test_non_integer(self):
+        with pytest.raises(GraphFormatError):
+            read_snap_edgelist(io.StringIO("a b\n"))
+
+    def test_roundtrip(self, fig1, tmp_path):
+        path = tmp_path / "g.txt"
+        write_snap_edgelist(fig1, str(path))
+        g2 = read_snap_edgelist(str(path))
+        assert np.array_equal(g2.adj, fig1.adj)
+
+    def test_directed_read(self):
+        g = read_snap_edgelist(io.StringIO("0 1\n"), undirected=False)
+        assert g.degree(1) == 0
+
+
+class TestMetis:
+    def test_read_basic(self):
+        # 3 vertices, 2 edges: 1-2, 2-3 (1-indexed)
+        text = "3 2\n2\n1 3\n2\n"
+        g = read_dimacs_metis(io.StringIO(text))
+        assert g.num_vertices == 3 and g.num_edges == 2
+
+    def test_isolated_vertex_blank_line(self):
+        text = "3 1\n2\n1\n\n"
+        g = read_dimacs_metis(io.StringIO(text))
+        assert g.isolated_vertices().tolist() == [2]
+
+    def test_comment_lines(self):
+        text = "% hello\n2 1\n2\n1\n"
+        g = read_dimacs_metis(io.StringIO(text))
+        assert g.num_edges == 1
+
+    def test_missing_header(self):
+        with pytest.raises(GraphFormatError):
+            read_dimacs_metis(io.StringIO(""))
+
+    def test_vertex_out_of_range(self):
+        with pytest.raises(GraphFormatError):
+            read_dimacs_metis(io.StringIO("2 1\n3\n1\n"))
+
+    def test_too_many_rows(self):
+        with pytest.raises(GraphFormatError):
+            read_dimacs_metis(io.StringIO("1 0\n\n\n\n"))
+
+    def test_roundtrip(self, fig1, tmp_path):
+        path = tmp_path / "g.graph"
+        write_dimacs_metis(fig1, str(path))
+        g2 = read_dimacs_metis(str(path))
+        assert np.array_equal(g2.adj, fig1.adj)
+
+    def test_write_rejects_directed(self, tmp_path):
+        from repro.graph.build import from_edges
+
+        g = from_edges([(0, 1)], undirected=False)
+        with pytest.raises(GraphFormatError):
+            write_dimacs_metis(g, str(tmp_path / "d.graph"))
+
+
+class TestMatrixMarket:
+    def test_read_basic(self):
+        text = ("%%MatrixMarket matrix coordinate pattern symmetric\n"
+                "% comment\n3 3 2\n2 1\n3 2\n")
+        g = read_matrix_market(io.StringIO(text))
+        assert g.num_vertices == 3 and g.num_edges == 2
+
+    def test_diagonal_dropped(self):
+        text = "%%MatrixMarket matrix coordinate real symmetric\n2 2 2\n1 1 5.0\n2 1 1.0\n"
+        g = read_matrix_market(io.StringIO(text))
+        assert g.num_edges == 1
+
+    def test_missing_banner(self):
+        with pytest.raises(GraphFormatError):
+            read_matrix_market(io.StringIO("3 3 1\n2 1\n"))
+
+    def test_unsupported_format(self):
+        with pytest.raises(GraphFormatError):
+            read_matrix_market(io.StringIO("%%MatrixMarket matrix array real\n"))
+
+    def test_roundtrip(self, fig1, tmp_path):
+        path = tmp_path / "g.mtx"
+        write_matrix_market(fig1, str(path))
+        g2 = read_matrix_market(str(path))
+        assert np.array_equal(g2.adj, fig1.adj)
+
+
+class TestLoadGraph:
+    def test_dispatch(self, fig1, tmp_path):
+        p = tmp_path / "x.mtx"
+        write_matrix_market(fig1, str(p))
+        g = load_graph(str(p))
+        assert g.num_edges == fig1.num_edges
+        assert g.name == "x.mtx"
+
+    def test_unknown_extension(self, tmp_path):
+        with pytest.raises(GraphFormatError):
+            load_graph(str(tmp_path / "x.bin"))

@@ -1,0 +1,74 @@
+"""Unit tests for the Table II dataset registry."""
+
+import pytest
+
+from repro.graph.generators.suite import (
+    DATASET_CLASSES,
+    DATASETS,
+    make_dataset,
+    suite,
+)
+
+
+class TestRegistry:
+    def test_all_ten_datasets(self):
+        assert len(DATASETS) == 10
+        assert set(DATASETS) == {
+            "af_shell9", "caidaRouterLevel", "cnr-2000", "com-amazon",
+            "delaunay_n20", "kron_g500-logn20", "loc-gowalla",
+            "luxembourg.osm", "rgg_n_2_20", "smallworld",
+        }
+
+    def test_paper_sizes_match_table2(self):
+        assert DATASETS["af_shell9"].paper_vertices == 504_855
+        assert DATASETS["kron_g500-logn20"].paper_edges == 44_619_402
+        assert DATASETS["luxembourg.osm"].paper_vertices == 114_599
+
+    def test_classes_cover_all(self):
+        names = set()
+        for members in DATASET_CLASSES.values():
+            names.update(members)
+        assert names == set(DATASETS)
+
+
+class TestMakeDataset:
+    def test_scaled_size(self):
+        g = make_dataset("smallworld", scale_factor=100, seed=0)
+        assert abs(g.num_vertices - 1000) < 20
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_dataset("nope")
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            make_dataset("smallworld", scale_factor=0)
+
+    def test_deterministic(self):
+        import numpy as np
+
+        a = make_dataset("caidaRouterLevel", scale_factor=200, seed=3)
+        b = make_dataset("caidaRouterLevel", scale_factor=200, seed=3)
+        assert np.array_equal(a.adj, b.adj)
+
+    def test_names_carried(self):
+        g = make_dataset("cnr-2000", scale_factor=256)
+        assert g.name == "cnr-2000"
+
+
+class TestSuiteIteration:
+    def test_subset(self):
+        out = list(suite(scale_factor=512, names=["smallworld", "luxembourg.osm"]))
+        assert [spec.name for spec, _ in out] == ["smallworld", "luxembourg.osm"]
+
+    def test_structural_classes(self):
+        """The high-diameter datasets must out-diameter the low-diameter
+        ones at any scale — the split Figure 3 relies on."""
+        from repro.graph.stats import estimate_diameter
+
+        diams = {}
+        for spec, g in suite(scale_factor=256):
+            diams[spec.name] = estimate_diameter(g, samples=3, seed=0)
+        high = min(diams[n] for n in DATASET_CLASSES["high-diameter"])
+        low = max(diams[n] for n in DATASET_CLASSES["low-diameter"])
+        assert high > low

@@ -1,0 +1,36 @@
+"""Unit tests for the CLI entry point."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_known_experiments(self):
+        args = build_parser().parse_args(["table2", "--scale-factor", "256"])
+        assert args.experiment == "table2"
+        assert args.scale_factor == 256
+
+    def test_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table9"])
+
+    def test_scales_list(self):
+        args = build_parser().parse_args(["figure5", "--scales", "10", "11"])
+        assert args.scales == [10, 11]
+
+
+class TestMain:
+    def test_figure1(self, capsys):
+        assert main(["figure1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+
+    def test_table2_small(self, capsys):
+        assert main(["table2", "--scale-factor", "512", "--roots", "2"]) == 0
+        assert "af_shell9" in capsys.readouterr().out
+
+    def test_figure5_with_scales(self, capsys):
+        assert main(["figure5", "--scale-factor", "1", "--roots", "2",
+                     "--scales", "8", "9"]) == 0
+        assert "GPU-FAN" in capsys.readouterr().out

@@ -1,0 +1,69 @@
+"""Unit tests for the shared experiment plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.harness.runner import ExperimentConfig, load_suite_graph, pick_roots
+
+
+class TestExperimentConfig:
+    def test_defaults(self):
+        cfg = ExperimentConfig()
+        assert cfg.scale_factor == 64
+        assert cfg.root_sample == 24
+
+    def test_paper_thresholds_at_full_scale(self):
+        cfg = ExperimentConfig(scale_factor=1)
+        assert cfg.alpha == 768
+        assert cfg.beta == 512
+        assert cfg.min_frontier == 512
+
+    def test_sqrt_scaling(self):
+        cfg = ExperimentConfig(scale_factor=64)
+        assert cfg.alpha == 768 // 8
+        assert cfg.beta == 512 // 8
+        assert cfg.min_frontier == 64
+
+    def test_floor_of_two(self):
+        cfg = ExperimentConfig(scale_factor=1_000_000)
+        assert cfg.alpha >= 2 and cfg.beta >= 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(scale_factor=0)
+        with pytest.raises(ValueError):
+            ExperimentConfig(root_sample=0)
+
+
+class TestPickRoots:
+    def test_distinct_and_sorted(self, small_sw):
+        roots = pick_roots(small_sw, 10, seed=1)
+        assert np.unique(roots).size == 10
+        assert np.all(np.diff(roots) > 0)
+
+    def test_avoids_isolated(self, two_components):
+        roots = pick_roots(two_components, 6, seed=0)
+        assert 6 not in roots  # vertex 6 is isolated
+
+    def test_caps_at_pool(self, fig1):
+        roots = pick_roots(fig1, 100, seed=0)
+        assert roots.size == 9
+
+    def test_deterministic(self, small_sw):
+        a = pick_roots(small_sw, 5, seed=9)
+        b = pick_roots(small_sw, 5, seed=9)
+        assert np.array_equal(a, b)
+
+    def test_all_isolated_fallback(self):
+        from repro.graph.build import from_edges
+
+        g = from_edges([], num_vertices=4)
+        roots = pick_roots(g, 2, seed=0)
+        assert roots.size == 2
+
+
+class TestLoadSuiteGraph:
+    def test_scales(self):
+        cfg = ExperimentConfig(scale_factor=256)
+        g = load_suite_graph("smallworld", cfg)
+        assert abs(g.num_vertices - 100_000 // 256) < 10

@@ -1,0 +1,47 @@
+"""Unit tests for text table rendering."""
+
+import pytest
+
+from repro.harness.tables import format_kv, format_series, format_table
+
+
+class TestFormatTable:
+    def test_basic(self):
+        out = format_table(["a", "bb"], [(1, 2), (30, 4)])
+        lines = out.splitlines()
+        assert lines[0].split() == ["a", "bb"]
+        assert set(lines[1]) <= {"-", " "}
+        assert lines[2].split() == ["1", "2"]
+
+    def test_title(self):
+        out = format_table(["x"], [(1,)], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_width_matches_longest(self):
+        out = format_table(["h"], [("longvalue",)])
+        header, sep, row = out.splitlines()
+        assert len(sep) == len("longvalue")
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [(1,)])
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [(3.14159,), (float("nan"),), (1e-9,)])
+        assert "3.142" in out
+        assert "nan" in out
+
+    def test_empty_rows(self):
+        out = format_table(["a"], [])
+        assert len(out.splitlines()) == 2
+
+
+class TestHelpers:
+    def test_kv(self):
+        out = format_kv({"alpha": 768, "beta": 512}, title="params")
+        assert "alpha" in out and "768" in out
+        assert out.splitlines()[0] == "params"
+
+    def test_series(self):
+        out = format_series("curve", [1, 2], [10, 20], "n", "t")
+        assert "curve" in out and "10" in out

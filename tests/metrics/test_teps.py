@@ -1,0 +1,45 @@
+"""Unit tests for TEPS accounting (Eq. 4)."""
+
+import pytest
+
+from repro.metrics.teps import TEPSReport, format_teps, gteps, mteps, teps
+
+
+class TestTeps:
+    def test_formula(self):
+        # Eq. 4: TEPS = m*n/t.
+        assert teps(1000, 50, 2.0) == 25_000
+
+    def test_units(self):
+        assert mteps(10**6, 10, 1.0) == pytest.approx(10.0)
+        assert gteps(10**9, 10, 1.0) == pytest.approx(10.0)
+
+    def test_zero_time(self):
+        assert teps(10, 10, 0.0) == float("inf")
+
+    def test_negative_time(self):
+        with pytest.raises(ValueError):
+            teps(10, 10, -1.0)
+
+    def test_format(self):
+        assert format_teps(2.5e9) == "2.50 GTEPS"
+        assert format_teps(2.5e6) == "2.50 MTEPS"
+        assert format_teps(2.5e3) == "2.50 KTEPS"
+        assert format_teps(12.0) == "12.00 TEPS"
+
+
+class TestReport:
+    def test_properties(self):
+        r = TEPSReport("g", "sampling", 100, 500, 100, 2.0)
+        assert r.teps == 500 * 100 / 2.0
+        assert r.mteps == r.teps / 1e6
+
+    def test_speedup(self):
+        slow = TEPSReport("g", "edge-parallel", 100, 500, 100, 10.0)
+        fast = TEPSReport("g", "sampling", 100, 500, 100, 2.0)
+        assert fast.speedup_over(slow) == pytest.approx(5.0)
+
+    def test_speedup_zero_time(self):
+        fast = TEPSReport("g", "s", 1, 1, 1, 0.0)
+        slow = TEPSReport("g", "e", 1, 1, 1, 1.0)
+        assert fast.speedup_over(slow) == float("inf")

@@ -1,0 +1,40 @@
+"""Unit tests for the process-pool BC executor."""
+
+import numpy as np
+import pytest
+
+from repro.bc.brandes import brandes_reference
+from repro.parallel.pool import parallel_betweenness_centrality
+
+
+class TestPool:
+    def test_matches_serial_two_workers(self, fig1):
+        got = parallel_betweenness_centrality(fig1, num_workers=2,
+                                              chunks_per_worker=2)
+        assert np.allclose(got, brandes_reference(fig1))
+
+    def test_single_worker_short_circuit(self, fig1):
+        got = parallel_betweenness_centrality(fig1, num_workers=1)
+        assert np.allclose(got, brandes_reference(fig1))
+
+    def test_sources_subset(self, fig1):
+        got = parallel_betweenness_centrality(fig1, sources=[0, 3, 5],
+                                              num_workers=2)
+        assert np.allclose(got, brandes_reference(fig1, sources=[0, 3, 5]))
+
+    def test_more_workers_than_roots(self, path5):
+        got = parallel_betweenness_centrality(path5, num_workers=8,
+                                              chunks_per_worker=4)
+        assert np.allclose(got, brandes_reference(path5))
+
+    def test_larger_graph(self, small_sw):
+        got = parallel_betweenness_centrality(
+            small_sw, sources=range(0, 40), num_workers=2,
+        )
+        ref = brandes_reference(small_sw, sources=range(0, 40))
+        assert np.allclose(got, ref)
+
+    def test_bad_chunks(self, fig1):
+        with pytest.raises(ValueError):
+            parallel_betweenness_centrality(fig1, num_workers=2,
+                                            chunks_per_worker=0)

@@ -1,0 +1,78 @@
+"""Property-based tests for CSR construction and transforms."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.build import from_edges, relabel, symmetrize_edges
+from repro.graph.csr import CSRGraph
+
+
+@st.composite
+def edge_lists(draw, max_n=24, max_m=60):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    m = draw(st.integers(min_value=0, max_value=max_m))
+    edges = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            min_size=m, max_size=m,
+        )
+    )
+    return n, edges
+
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_csr_invariants(case):
+    n, edges = case
+    g = from_edges(edges, num_vertices=n)
+    assert g.indptr.size == n + 1
+    assert g.indptr[0] == 0
+    assert g.indptr[-1] == g.adj.size
+    assert np.all(np.diff(g.indptr) >= 0)
+    if g.adj.size:
+        assert 0 <= g.adj.min() and g.adj.max() < n
+    # Undirected storage: adjacency is symmetric.
+    src = g.edge_sources()
+    fwd = set(zip(src.tolist(), g.adj.tolist()))
+    assert all((b, a) in fwd for a, b in fwd)
+    # No self loops, no duplicates.
+    assert all(a != b for a, b in fwd)
+    assert len(fwd) == g.adj.size
+
+
+@given(edge_lists())
+@settings(max_examples=40, deadline=None)
+def test_degree_sum_equals_adjacency(case):
+    n, edges = case
+    g = from_edges(edges, num_vertices=n)
+    assert int(g.degrees.sum()) == g.num_directed_edges
+    assert g.num_directed_edges == 2 * g.num_edges
+
+
+@given(edge_lists(), st.randoms(use_true_random=False))
+@settings(max_examples=40, deadline=None)
+def test_relabel_preserves_structure(case, rnd):
+    n, edges = case
+    g = from_edges(edges, num_vertices=n)
+    perm = list(range(n))
+    rnd.shuffle(perm)
+    g2 = relabel(g, np.asarray(perm))
+    assert g2.num_edges == g.num_edges
+    assert sorted(g2.degrees.tolist()) == sorted(g.degrees.tolist())
+    # Adjacency is conjugated by the permutation.
+    perm_arr = np.asarray(perm)
+    for v in range(n):
+        expect = sorted(perm_arr[g.neighbors(v)].tolist())
+        assert sorted(g2.neighbors(int(perm_arr[v])).tolist()) == expect
+
+
+@given(edge_lists())
+@settings(max_examples=40, deadline=None)
+def test_symmetrize_idempotent_on_build(case):
+    n, edges = case
+    g1 = from_edges(edges, num_vertices=n)
+    sym = symmetrize_edges(np.asarray(edges, dtype=np.int64).reshape(-1, 2))
+    g2 = from_edges(sym, num_vertices=n, already_symmetric=True)
+    assert np.array_equal(g1.adj, g2.adj)
+    assert np.array_equal(g1.indptr, g2.indptr)

@@ -1,0 +1,69 @@
+"""Property-based round-trip tests for the graph file formats."""
+
+import io
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.build import from_edges
+from repro.graph.io import (
+    read_dimacs_metis,
+    read_matrix_market,
+    read_snap_edgelist,
+    write_dimacs_metis,
+    write_matrix_market,
+    write_snap_edgelist,
+)
+
+
+@st.composite
+def graphs(draw, max_n=20, max_m=50):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    m = draw(st.integers(min_value=0, max_value=max_m))
+    edges = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            min_size=m, max_size=m,
+        )
+    )
+    return from_edges(edges, num_vertices=n)
+
+
+def _roundtrip(g, writer, reader):
+    buf = io.StringIO()
+    writer(g, buf)
+    buf.seek(0)
+    return reader(buf)
+
+
+@given(graphs())
+@settings(max_examples=40, deadline=None)
+def test_snap_roundtrip(g):
+    g2 = _roundtrip(g, write_snap_edgelist, read_snap_edgelist)
+    # SNAP drops trailing isolated vertices (no edge mentions them);
+    # edge structure must survive exactly.
+    assert g2.num_edges == g.num_edges
+    src, src2 = g.edge_sources(), g2.edge_sources()
+    assert set(zip(src.tolist(), g.adj.tolist())) >= \
+        set(zip(src2.tolist(), g2.adj.tolist()))
+
+
+@given(graphs())
+@settings(max_examples=40, deadline=None)
+def test_metis_roundtrip_exact(g):
+    g2 = _roundtrip(g, write_dimacs_metis, read_dimacs_metis)
+    # METIS enumerates every vertex, so the round trip is exact —
+    # including isolated vertices.
+    assert g2.num_vertices == g.num_vertices
+    assert np.array_equal(g2.indptr, g.indptr)
+    assert np.array_equal(g2.adj, g.adj)
+
+
+@given(graphs())
+@settings(max_examples=40, deadline=None)
+def test_matrix_market_roundtrip(g):
+    g2 = _roundtrip(g, write_matrix_market, read_matrix_market)
+    assert g2.num_vertices == g.num_vertices
+    assert np.array_equal(g2.indptr, g.indptr)
+    assert np.array_equal(g2.adj, g.adj)

@@ -1,0 +1,64 @@
+"""Unit tests for the exception hierarchy and top-level exports."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    ClusterConfigurationError,
+    CommunicatorError,
+    DeviceConfigurationError,
+    DeviceOutOfMemoryError,
+    GraphFormatError,
+    GraphStructureError,
+    ReproError,
+    StrategyError,
+)
+
+ALL_ERRORS = [
+    GraphFormatError,
+    GraphStructureError,
+    DeviceOutOfMemoryError,
+    DeviceConfigurationError,
+    StrategyError,
+    ClusterConfigurationError,
+    CommunicatorError,
+]
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", ALL_ERRORS)
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_oom_carries_context(self):
+        e = DeviceOutOfMemoryError(100, 50, 120, what="preds")
+        assert e.requested == 100
+        assert e.in_use == 50
+        assert e.capacity == 120
+        assert "preds" in str(e)
+        assert "100" in str(e)
+
+    def test_oom_without_label(self):
+        e = DeviceOutOfMemoryError(1, 0, 0)
+        assert "for" not in str(e).split(":")[0]
+
+    def test_catch_all(self, fig1):
+        from repro.gpusim.device import Device
+
+        with pytest.raises(ReproError):
+            Device().run_bc(fig1, strategy="nope")
+
+
+class TestTopLevelAPI:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_quickstart_surface(self, fig1):
+        bc = repro.betweenness_centrality(fig1)
+        assert bc.size == 9
+        est = repro.approximate_bc(fig1, k=9, seed=0)
+        assert est.size == 9
