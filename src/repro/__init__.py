@@ -23,10 +23,14 @@ from .errors import (
     CommunicatorError,
     DeviceConfigurationError,
     DeviceOutOfMemoryError,
+    FaultSpecError,
     GraphFormatError,
     GraphStructureError,
+    RankFailure,
     ReproError,
+    RetryExhaustedError,
     StrategyError,
+    WorkerPoolError,
 )
 from .graph.csr import CSRGraph
 from .graph.build import from_edges, from_networkx
@@ -50,4 +54,8 @@ __all__ = [
     "StrategyError",
     "ClusterConfigurationError",
     "CommunicatorError",
+    "FaultSpecError",
+    "RankFailure",
+    "RetryExhaustedError",
+    "WorkerPoolError",
 ]

@@ -43,7 +43,11 @@ def betweenness_centrality(
         Iterable of roots to accumulate; defaults to all vertices (the
         exact O(mn) computation).  A subset yields the *unscaled*
         partial sum — see :func:`repro.bc.approx.approximate_bc` for
-        the rescaled estimator.
+        the rescaled estimator.  An *empty* subset returns the zero
+        vector: this is what a zero-root rank contributes in the
+        distributed decomposition (:mod:`repro.cluster.distributed`,
+        :mod:`repro.resilience`).  Out-of-range roots raise
+        ``IndexError`` up front rather than failing mid-traversal.
     normalized:
         Divide by the maximum possible score (Section II-B).
 
@@ -60,7 +64,15 @@ def betweenness_centrality(
     """
     n = g.num_vertices
     bc = np.zeros(n, dtype=np.float64)
-    for s in (range(n) if sources is None else np.asarray(sources).ravel()):
+    if sources is None:
+        roots = range(n)
+    else:
+        roots = np.asarray(sources, dtype=np.int64).ravel()
+        if roots.size == 0:
+            return bc
+        if roots.min() < 0 or roots.max() >= n:
+            raise IndexError(f"roots out of range [0, {n})")
+    for s in roots:
         bc += bc_single_source_dependencies(g, int(s))
     if g.undirected:
         bc /= 2.0

@@ -41,9 +41,18 @@ __all__ = [
 
 def partition_roots(num_roots: int, num_parts: int) -> list:
     """Contiguous block partition of roots 0..num_roots-1 (the paper
-    distributes "a subset of roots to each GPU")."""
+    distributes "a subset of roots to each GPU").
+
+    When ``num_parts > num_roots`` some parts are empty arrays.  Ranks
+    handed an empty part are *not* dropped from the program: in
+    :func:`distributed_bc_values` (and the resilient driver) they
+    contribute an all-zero vector to the reduce, which the test suite
+    verifies leaves the result exact.
+    """
     if num_parts < 1:
         raise ClusterConfigurationError("num_parts must be >= 1")
+    if num_roots < 0:
+        raise ClusterConfigurationError("num_roots must be >= 0")
     bounds = np.linspace(0, num_roots, num_parts + 1).astype(np.int64)
     return [np.arange(bounds[i], bounds[i + 1], dtype=np.int64)
             for i in range(num_parts)]
@@ -62,7 +71,8 @@ def distributed_bc_values(
     elif comm.size != num_ranks:
         raise ClusterConfigurationError("communicator size mismatch")
     parts = partition_roots(g.num_vertices, num_ranks)
-    # Each rank computes its local copy of the BC scores...
+    # Each rank computes its local copy of the BC scores; a rank whose
+    # part is empty (more ranks than roots) contributes the zero vector.
     locals_ = [betweenness_centrality(g, sources=part) for part in parts]
     # ...which are reduced into the global scores (MPI_Reduce).
     return comm.reduce(locals_, root=0)

@@ -98,11 +98,34 @@ class SimComm:
         self._charge(_nbytes(values))
         return [list(values) for _ in range(self.size)]
 
+    def _check_reduce_shapes(self, values: Sequence) -> None:
+        """Array contributions to a reduction must agree on shape; a
+        mismatch would otherwise surface as a bare NumPy broadcast
+        error (or worse, silently broadcast) deep inside ``op``."""
+        shape = None
+        for rank, v in enumerate(values):
+            if not isinstance(v, np.ndarray):
+                continue
+            if shape is None:
+                shape = v.shape
+            elif v.shape != shape:
+                raise CommunicatorError(
+                    f"reduce shape mismatch: rank {rank} contributed "
+                    f"{v.shape}, expected {shape}"
+                )
+
     def reduce(self, values: Sequence, op: Callable = None, root: int = 0):
         """Combine per-rank values at the root (elementwise sum for
-        NumPy arrays by default — the Section V-D score reduction)."""
+        NumPy arrays by default — the Section V-D score reduction).
+
+        A custom ``op`` moves the same bytes up the reduction tree as
+        the default sum, so both paths charge identically.
+        """
         self._check_rank(root)
         self._check_values(values)
+        self._check_reduce_shapes(values)
+        # One per-rank payload travels each tree edge regardless of the
+        # combining operator: charge the same bytes on both paths.
         self._charge(_nbytes(values[0]))
         if op is None:
             acc = values[0].copy() if isinstance(values[0], np.ndarray) else values[0]

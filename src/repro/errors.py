@@ -15,6 +15,10 @@ __all__ = [
     "StrategyError",
     "ClusterConfigurationError",
     "CommunicatorError",
+    "FaultSpecError",
+    "RankFailure",
+    "RetryExhaustedError",
+    "WorkerPoolError",
 ]
 
 
@@ -64,3 +68,46 @@ class ClusterConfigurationError(ReproError):
 
 class CommunicatorError(ReproError):
     """Misuse of the in-process MPI-like communicator."""
+
+
+class FaultSpecError(ReproError):
+    """An invalid fault-injection plan or fault spec string."""
+
+
+class RankFailure(ReproError):
+    """A simulated rank fail-stopped.
+
+    Raised by the fault-injection layer (:mod:`repro.resilience`) when a
+    rank dies at a collective or mid-compute.  Carries enough context
+    for the resilient driver to re-partition the rank's orphaned roots.
+    """
+
+    def __init__(self, rank: int, where: str = "compute", roots_done: int = 0):
+        self.rank = int(rank)
+        self.where = str(where)
+        self.roots_done = int(roots_done)
+        super().__init__(
+            f"rank {self.rank} fail-stopped at {self.where!r}"
+            + (f" after {self.roots_done} roots" if self.roots_done else "")
+        )
+
+
+class RetryExhaustedError(ReproError):
+    """Recovery retries ran out before every root partition completed.
+
+    The resilient driver only raises this when graceful degradation is
+    explicitly disabled; the default policy degrades to a sampled
+    estimate instead of raising.
+    """
+
+    def __init__(self, pending_roots: int, retries: int):
+        self.pending_roots = int(pending_roots)
+        self.retries = int(retries)
+        super().__init__(
+            f"{self.pending_roots} roots still pending after "
+            f"{self.retries} retries"
+        )
+
+
+class WorkerPoolError(ReproError):
+    """A process-pool worker crashed and serial recovery also failed."""

@@ -162,9 +162,21 @@ def _list_schedule(costs_per_root, num_workers: int):
 class Device:
     """A simulated GPU executing betweenness-centrality runs."""
 
+    #: Multiplier on the run's simulated cycles; ``1.0`` on a healthy
+    #: device.  :class:`repro.resilience.FaultyDevice` sets it per rank
+    #: to model stragglers.
+    straggler_factor: float = 1.0
+
     def __init__(self, spec: GPUSpec = GTX_TITAN, costs: CostModel = DEFAULT_COSTS):
         self.spec = spec
         self.costs = costs
+
+    def _inject_faults(self, g: CSRGraph, roots: np.ndarray) -> None:
+        """Fault-injection hook called at the top of :meth:`run_bc`.
+
+        No-op on a healthy device; :class:`repro.resilience.FaultyDevice`
+        overrides it to raise planned :class:`~repro.errors.RankFailure`
+        or :class:`~repro.errors.DeviceOutOfMemoryError` faults."""
 
     # ------------------------------------------------------------------
     def run_bc(
@@ -213,6 +225,8 @@ class Device:
             if roots.size and (roots.min() < 0 or roots.max() >= n):
                 raise IndexError("roots out of range")
 
+        self._inject_faults(g, roots)
+
         if strict_reader and strategy in (EDGE_PARALLEL, VERTEX_PARALLEL):
             isolated = g.isolated_vertices()
             if isolated.size:
@@ -249,6 +263,11 @@ class Device:
             run = self._run_coarse(g, roots, bc, chunk, policy_factory)
 
         trace, makespan, extra = run
+        slow = float(self.straggler_factor)
+        if slow != 1.0:
+            makespan *= slow
+            fixed_cycles *= slow
+            trace.makespan_cycles = makespan
         if g.undirected:
             bc /= 2.0
         return DeviceRun(

@@ -6,6 +6,14 @@ pool initializer, so the CSR arrays are pickled a single time per
 worker rather than per task), roots are partitioned into chunks, each
 worker accumulates a partial BC vector, and the partials are summed —
 the in-process equivalent of the final ``MPI_Reduce``.
+
+Worker failures are survivable: a chunk whose worker crashes (a raw
+``BrokenProcessPool``, a pickling error, or an injected fault) is
+recomputed serially in the parent, so one bad worker degrades
+throughput but never loses the run.  Only when that serial fallback
+*also* fails does the caller see an error — and then it is a
+:class:`~repro.errors.WorkerPoolError`, never a bare pool internals
+exception.
 """
 
 from __future__ import annotations
@@ -15,6 +23,7 @@ from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 
+from ..errors import WorkerPoolError
 from ..graph.csr import CSRGraph
 from .partition import block_partition
 
@@ -23,23 +32,39 @@ __all__ = ["parallel_betweenness_centrality"]
 # Per-worker replicated graph (set by the pool initializer; module-level
 # so forked/spawned workers can reach it without per-task pickling).
 _WORKER_GRAPH: CSRGraph | None = None
+# Chunk indices this worker must hard-crash on (fault injection for the
+# resilience tests; empty in normal operation).
+_WORKER_CRASH_CHUNKS: frozenset = frozenset()
 
 
-def _init_worker(indptr: np.ndarray, adj: np.ndarray, undirected: bool) -> None:
-    global _WORKER_GRAPH
+def _init_worker(indptr: np.ndarray, adj: np.ndarray, undirected: bool,
+                 crash_chunks=()) -> None:
+    global _WORKER_GRAPH, _WORKER_CRASH_CHUNKS
     _WORKER_GRAPH = CSRGraph(indptr, adj, undirected=undirected)
+    _WORKER_CRASH_CHUNKS = frozenset(crash_chunks)
 
 
-def _worker_partial(roots: np.ndarray) -> np.ndarray:
-    """Accumulate dependencies for one chunk of roots."""
+def _chunk_partial(g: CSRGraph, roots: np.ndarray) -> np.ndarray:
+    """Accumulate dependencies for one chunk of roots on ``g``."""
     from ..bc.api import bc_single_source_dependencies
 
-    g = _WORKER_GRAPH
-    assert g is not None, "worker pool not initialised"
     bc = np.zeros(g.num_vertices, dtype=np.float64)
     for s in roots:
         bc += bc_single_source_dependencies(g, int(s))
     return bc
+
+
+def _worker_partial(task) -> np.ndarray:
+    """Worker entry point: ``task`` is ``(chunk_index, roots)``."""
+    index, roots = task
+    if index in _WORKER_CRASH_CHUNKS:
+        # Simulated fail-stop: die without cleanup, exactly like a
+        # segfaulting or OOM-killed worker (surfaces to the parent as
+        # BrokenProcessPool).
+        os._exit(13)
+    g = _WORKER_GRAPH
+    assert g is not None, "worker pool not initialised"
+    return _chunk_partial(g, roots)
 
 
 def parallel_betweenness_centrality(
@@ -47,6 +72,7 @@ def parallel_betweenness_centrality(
     sources=None,
     num_workers: int | None = None,
     chunks_per_worker: int = 4,
+    _crash_chunks=(),
 ) -> np.ndarray:
     """Exact BC computed across a process pool.
 
@@ -60,9 +86,14 @@ def parallel_betweenness_centrality(
     chunks_per_worker:
         Oversubscription factor — more, smaller chunks smooth load
         imbalance between root costs at the price of task overhead.
+    _crash_chunks:
+        Fault-injection hook (resilience tests): chunk indices whose
+        worker hard-exits mid-task.  The run still returns the exact
+        result via the serial recovery path.
 
     Returns the same values as
-    :func:`repro.bc.betweenness_centrality`; the test suite asserts it.
+    :func:`repro.bc.betweenness_centrality`; the test suite asserts it,
+    including under injected worker crashes.
     """
     n = g.num_vertices
     if sources is None:
@@ -83,13 +114,39 @@ def parallel_betweenness_centrality(
     num_chunks = min(roots.size, num_workers * chunks_per_worker)
     chunks = [c for c in block_partition(roots, num_chunks) if c.size]
     bc = np.zeros(n, dtype=np.float64)
-    with ProcessPoolExecutor(
-        max_workers=num_workers,
-        initializer=_init_worker,
-        initargs=(g.indptr, g.adj, g.undirected),
-    ) as pool:
-        for partial in pool.map(_worker_partial, chunks):
-            bc += partial  # the MPI_Reduce step
+    done = np.zeros(len(chunks), dtype=bool)
+    try:
+        with ProcessPoolExecutor(
+            max_workers=num_workers,
+            initializer=_init_worker,
+            initargs=(g.indptr, g.adj, g.undirected, tuple(_crash_chunks)),
+        ) as pool:
+            futures = [pool.submit(_worker_partial, (i, c))
+                       for i, c in enumerate(chunks)]
+            for i, fut in enumerate(futures):
+                try:
+                    bc += fut.result()  # the MPI_Reduce step
+                    done[i] = True
+                except Exception:
+                    # A crashed worker breaks the pool, so every not-yet
+                    # collected chunk lands here too; all of them are
+                    # recomputed serially below.
+                    pass
+    except Exception:
+        # Pool creation / task submission itself failed (e.g. spawn or
+        # pickling trouble): fall through with whatever completed.
+        pass
+
+    failed = [chunks[i] for i in np.flatnonzero(~done)]
+    if failed:
+        try:
+            for chunk in failed:
+                bc += _chunk_partial(g, chunk)
+        except Exception as exc:
+            raise WorkerPoolError(
+                f"{len(failed)} worker chunk(s) crashed and serial "
+                f"recovery failed: {exc}"
+            ) from exc
     if g.undirected:
         bc /= 2.0
     return bc

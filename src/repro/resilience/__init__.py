@@ -1,0 +1,53 @@
+"""Fault tolerance for the distributed BC program (Section V-D at
+real-cluster scale): deterministic fault injection, checkpointed root
+recovery, and graceful degradation to sampled estimates.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro.graph.generators import figure1_graph
+>>> from repro.bc.api import betweenness_centrality
+>>> from repro.resilience import FaultPlan, resilient_distributed_bc
+>>> g = figure1_graph()
+>>> run = resilient_distributed_bc(g, 3, fault_plan=FaultPlan.fail_stop(1))
+>>> bool(run.exact)
+True
+>>> bool(np.allclose(run.values, betweenness_centrality(g)))
+True
+"""
+
+from .driver import (
+    CheckpointStore,
+    RankIncident,
+    ResilientRun,
+    estimate_per_root_seconds,
+    resilient_distributed_bc,
+)
+from .faults import (
+    COLLECTIVES,
+    FAIL_STOP,
+    OOM,
+    STRAGGLER,
+    ActiveFaults,
+    FaultEvent,
+    FaultPlan,
+    FaultyComm,
+    FaultyDevice,
+)
+
+__all__ = [
+    "FAIL_STOP",
+    "OOM",
+    "STRAGGLER",
+    "COLLECTIVES",
+    "FaultEvent",
+    "FaultPlan",
+    "ActiveFaults",
+    "FaultyComm",
+    "FaultyDevice",
+    "CheckpointStore",
+    "RankIncident",
+    "ResilientRun",
+    "estimate_per_root_seconds",
+    "resilient_distributed_bc",
+]

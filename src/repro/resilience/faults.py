@@ -1,0 +1,381 @@
+"""Deterministic fault injection for the distributed BC program.
+
+The paper's 192-GPU runs (Section V-D) assume every rank survives to
+the final ``MPI_Reduce``.  This module supplies the adversary for
+testing what happens when one doesn't:
+
+* :class:`FaultEvent` / :class:`FaultPlan` — a declarative, seedable
+  description of *which* rank fails, *where* (a named collective or
+  mid-compute after ``k`` roots), and *how* (fail-stop, transient
+  simulated OOM, or a straggler slowdown factor).
+* :class:`ActiveFaults` — the mutable runtime view of a plan; events
+  are consumed as they fire so a retried operation succeeds (fail-stop
+  is one-shot per event, OOM fires ``times`` attempts, stragglers
+  persist for the whole run).
+* :class:`FaultyComm` — a :class:`~repro.cluster.mpi_sim.SimComm` that
+  raises :class:`~repro.errors.RankFailure` when a live rank is
+  scheduled to die at the entered collective.
+* :class:`FaultyDevice` — a :class:`~repro.gpusim.device.Device` bound
+  to one rank that raises injected faults before running and stretches
+  its simulated cycles by the rank's straggler factor.
+
+Everything is deterministic: a plan built from an explicit event list
+or from :meth:`FaultPlan.random` with a seed always fires identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import DeviceOutOfMemoryError, FaultSpecError, RankFailure
+from ..cluster.mpi_sim import SimComm
+from ..gpusim.cost import DEFAULT_COSTS, CostModel
+from ..gpusim.device import Device
+from ..gpusim.spec import GTX_TITAN, GPUSpec
+
+__all__ = [
+    "FAIL_STOP",
+    "OOM",
+    "STRAGGLER",
+    "COLLECTIVES",
+    "FaultEvent",
+    "FaultPlan",
+    "ActiveFaults",
+    "FaultyComm",
+    "FaultyDevice",
+]
+
+#: Fault kinds.
+FAIL_STOP = "fail-stop"
+OOM = "oom"
+STRAGGLER = "straggler"
+_KINDS = (FAIL_STOP, OOM, STRAGGLER)
+
+#: Injection points a fail-stop can target ("compute" plus every
+#: :class:`SimComm` collective).
+COLLECTIVES = ("bcast", "scatter", "gather", "allgather", "reduce",
+               "allreduce", "barrier")
+_WHERE = ("compute",) + COLLECTIVES
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One planned fault.
+
+    Parameters
+    ----------
+    kind:
+        ``"fail-stop"`` (the rank dies), ``"oom"`` (the rank's compute
+        raises :class:`DeviceOutOfMemoryError`, transiently), or
+        ``"straggler"`` (the rank's compute is ``factor`` times slower).
+    rank:
+        Victim rank.
+    where:
+        ``"compute"`` or a collective name; only fail-stop may target a
+        collective.
+    after_roots:
+        For a mid-compute fail-stop: how many roots of the rank's
+        partition complete before it dies (their partial progress is
+        lost — the checkpoint unit is the whole partition).
+    times:
+        For transient OOM: how many attempts fire before the fault
+        clears.
+    factor:
+        Straggler slowdown multiple (``>= 1``).
+    """
+
+    kind: str
+    rank: int
+    where: str = "compute"
+    after_roots: int = 0
+    times: int = 1
+    factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise FaultSpecError(f"unknown fault kind {self.kind!r}; known: {_KINDS}")
+        if self.rank < 0:
+            raise FaultSpecError("rank must be >= 0")
+        if self.where not in _WHERE:
+            raise FaultSpecError(
+                f"unknown fault site {self.where!r}; known: {_WHERE}"
+            )
+        if self.kind != FAIL_STOP and self.where != "compute":
+            raise FaultSpecError(f"{self.kind} faults only fire at 'compute'")
+        if self.after_roots < 0:
+            raise FaultSpecError("after_roots must be >= 0")
+        if self.times < 1:
+            raise FaultSpecError("times must be >= 1")
+        if self.factor < 1.0:
+            raise FaultSpecError("straggler factor must be >= 1")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, replayable set of :class:`FaultEvent`\\ s."""
+
+    events: tuple = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+        for ev in self.events:
+            if not isinstance(ev, FaultEvent):
+                raise FaultSpecError(f"not a FaultEvent: {ev!r}")
+
+    # -- convenience constructors --------------------------------------
+    @classmethod
+    def fail_stop(cls, rank: int, where: str = "compute",
+                  after_roots: int = 0) -> "FaultPlan":
+        """Kill one rank at ``where`` (optionally mid-compute)."""
+        return cls((FaultEvent(FAIL_STOP, rank, where=where,
+                               after_roots=after_roots),))
+
+    @classmethod
+    def transient_oom(cls, rank: int, times: int = 1) -> "FaultPlan":
+        """Make one rank's compute OOM for ``times`` attempts."""
+        return cls((FaultEvent(OOM, rank, times=times),))
+
+    @classmethod
+    def straggler(cls, rank: int, factor: float = 4.0) -> "FaultPlan":
+        """Slow one rank's compute by ``factor``."""
+        return cls((FaultEvent(STRAGGLER, rank, factor=factor),))
+
+    @classmethod
+    def random(cls, num_ranks: int, seed: int = 0, num_faults: int = 1,
+               kinds=_KINDS) -> "FaultPlan":
+        """A deterministic random plan over ``num_ranks`` ranks."""
+        if num_ranks < 1:
+            raise FaultSpecError("num_ranks must be >= 1")
+        if num_faults < 0:
+            raise FaultSpecError("num_faults must be >= 0")
+        rng = np.random.default_rng(seed)
+        events = []
+        for _ in range(int(num_faults)):
+            kind = kinds[int(rng.integers(len(kinds)))]
+            rank = int(rng.integers(num_ranks))
+            if kind == FAIL_STOP:
+                where = _WHERE[int(rng.integers(len(_WHERE)))]
+                events.append(FaultEvent(FAIL_STOP, rank, where=where,
+                                         after_roots=int(rng.integers(4))))
+            elif kind == OOM:
+                events.append(FaultEvent(OOM, rank,
+                                         times=int(rng.integers(1, 3))))
+            else:
+                events.append(FaultEvent(STRAGGLER, rank,
+                                         factor=float(1 + 3 * rng.random())))
+        return cls(tuple(events))
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse a CLI fault spec.
+
+        Grammar (``;``-separated entries)::
+
+            fail:RANK[@WHERE][+AFTER_ROOTS]   fail-stop
+            oom:RANK[xTIMES]                  transient OOM
+            straggler:RANKxFACTOR             slowdown
+
+        Examples: ``"fail:1@reduce"``, ``"fail:2+3"``, ``"oom:0x2"``,
+        ``"straggler:1x3.5;fail:0@bcast"``.
+        """
+        events = []
+        for raw in spec.split(";"):
+            entry = raw.strip()
+            if not entry:
+                continue
+            try:
+                kind, rest = entry.split(":", 1)
+            except ValueError:
+                raise FaultSpecError(f"bad fault entry {entry!r}: missing ':'")
+            kind = kind.strip().lower()
+            rest = rest.strip()
+            try:
+                if kind in ("fail", FAIL_STOP):
+                    after = 0
+                    if "+" in rest:
+                        rest, after_s = rest.split("+", 1)
+                        after = int(after_s)
+                    where = "compute"
+                    if "@" in rest:
+                        rest, where = rest.split("@", 1)
+                    events.append(FaultEvent(FAIL_STOP, int(rest),
+                                             where=where.strip(),
+                                             after_roots=after))
+                elif kind == OOM:
+                    times = 1
+                    if "x" in rest:
+                        rest, times_s = rest.split("x", 1)
+                        times = int(times_s)
+                    events.append(FaultEvent(OOM, int(rest), times=times))
+                elif kind == STRAGGLER:
+                    if "x" not in rest:
+                        raise FaultSpecError(
+                            f"straggler entry {entry!r} needs 'xFACTOR'"
+                        )
+                    rank_s, factor_s = rest.split("x", 1)
+                    events.append(FaultEvent(STRAGGLER, int(rank_s),
+                                             factor=float(factor_s)))
+                else:
+                    raise FaultSpecError(f"unknown fault kind {kind!r}")
+            except FaultSpecError:
+                raise
+            except ValueError as exc:
+                raise FaultSpecError(f"bad fault entry {entry!r}: {exc}")
+        return cls(tuple(events))
+
+    # ------------------------------------------------------------------
+    def start(self) -> "ActiveFaults":
+        """Fresh mutable runtime state for one run of this plan."""
+        return ActiveFaults(self)
+
+
+class ActiveFaults:
+    """Runtime view of a :class:`FaultPlan`; events are consumed as they
+    fire so retried operations see a fault-free world."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._collective = {}   # (rank, where) -> count of pending fail-stops
+        self._compute_fail = {}  # rank -> FaultEvent (first pending)
+        self._oom = {}           # rank -> remaining attempts
+        self._straggle = {}      # rank -> factor (persistent)
+        for ev in plan.events:
+            if ev.kind == FAIL_STOP and ev.where != "compute":
+                key = (ev.rank, ev.where)
+                self._collective[key] = self._collective.get(key, 0) + 1
+            elif ev.kind == FAIL_STOP:
+                self._compute_fail.setdefault(ev.rank, ev)
+            elif ev.kind == OOM:
+                self._oom[ev.rank] = self._oom.get(ev.rank, 0) + ev.times
+            else:
+                self._straggle[ev.rank] = max(
+                    self._straggle.get(ev.rank, 1.0), ev.factor
+                )
+
+    def crash_at(self, rank: int, where: str) -> bool:
+        """Consume (and report) a fail-stop of ``rank`` at collective
+        ``where``."""
+        key = (rank, where)
+        remaining = self._collective.get(key, 0)
+        if remaining <= 0:
+            return False
+        if remaining == 1:
+            del self._collective[key]
+        else:
+            self._collective[key] = remaining - 1
+        return True
+
+    def compute_crash(self, rank: int):
+        """Consume a pending mid-compute fail-stop for ``rank``;
+        returns the :class:`FaultEvent` or ``None``."""
+        return self._compute_fail.pop(rank, None)
+
+    def oom_fires(self, rank: int) -> bool:
+        """Consume one transient-OOM attempt for ``rank``."""
+        remaining = self._oom.get(rank, 0)
+        if remaining <= 0:
+            return False
+        if remaining == 1:
+            del self._oom[rank]
+        else:
+            self._oom[rank] = remaining - 1
+        return True
+
+    def straggler_factor(self, rank: int) -> float:
+        """Persistent slowdown multiple for ``rank`` (1.0 = healthy)."""
+        return self._straggle.get(rank, 1.0)
+
+    def injected_oom(self, rank: int, nbytes: int) -> DeviceOutOfMemoryError:
+        """Build the simulated OOM a faulty rank raises."""
+        return DeviceOutOfMemoryError(
+            int(nbytes), 0, 0, what=f"injected fault on rank {rank}"
+        )
+
+
+class FaultyComm(SimComm):
+    """A :class:`SimComm` whose collectives kill planned ranks.
+
+    Before performing a collective, every *live* rank scheduled to
+    fail-stop there raises :class:`~repro.errors.RankFailure`.  The
+    driver catches it, calls :meth:`mark_dead`, and re-enters the
+    collective; the event has been consumed, so the retry proceeds with
+    the survivors (dead ranks' contributions are zero vectors — see
+    :func:`repro.cluster.distributed.partition_roots`).
+    """
+
+    def __init__(self, size: int, faults: ActiveFaults | None = None,
+                 link=None):
+        super().__init__(size, link=link)
+        self.faults = faults
+        self.live = set(range(self.size))
+
+    def mark_dead(self, rank: int) -> None:
+        """Remove a fail-stopped rank from the collective group."""
+        self.live.discard(int(rank))
+
+    @property
+    def num_live(self) -> int:
+        return len(self.live)
+
+    def _maybe_fail(self, where: str) -> None:
+        if self.faults is None:
+            return
+        for rank in sorted(self.live):
+            if self.faults.crash_at(rank, where):
+                raise RankFailure(rank, where)
+
+    # Every collective checks for planned deaths before executing.
+    def bcast(self, value, root: int = 0):
+        self._maybe_fail("bcast")
+        return super().bcast(value, root=root)
+
+    def scatter(self, values, root: int = 0):
+        self._maybe_fail("scatter")
+        return super().scatter(values, root=root)
+
+    def gather(self, values, root: int = 0):
+        self._maybe_fail("gather")
+        return super().gather(values, root=root)
+
+    def allgather(self, values):
+        self._maybe_fail("allgather")
+        return super().allgather(values)
+
+    def reduce(self, values, op=None, root: int = 0):
+        self._maybe_fail("reduce")
+        return super().reduce(values, op=op, root=root)
+
+    def allreduce(self, values, op=None):
+        self._maybe_fail("allreduce")
+        return super().allreduce(values, op=op)
+
+    def barrier(self) -> None:
+        self._maybe_fail("barrier")
+        super().barrier()
+
+
+class FaultyDevice(Device):
+    """A simulated GPU bound to one rank of a fault plan.
+
+    Injects the rank's planned compute faults at the top of
+    :meth:`~repro.gpusim.device.Device.run_bc` (via the base class's
+    ``_inject_faults`` hook) and stretches the run's simulated cycles
+    by the rank's straggler factor.
+    """
+
+    def __init__(self, rank: int, faults: ActiveFaults,
+                 spec: GPUSpec = GTX_TITAN, costs: CostModel = DEFAULT_COSTS):
+        super().__init__(spec, costs)
+        self.rank = int(rank)
+        self.faults = faults
+        self.straggler_factor = faults.straggler_factor(self.rank)
+
+    def _inject_faults(self, g, roots) -> None:
+        crash = self.faults.compute_crash(self.rank)
+        if crash is not None:
+            raise RankFailure(self.rank, "compute",
+                              roots_done=min(crash.after_roots, roots.size))
+        if self.faults.oom_fires(self.rank):
+            raise self.faults.injected_oom(self.rank, g.num_vertices * 8)

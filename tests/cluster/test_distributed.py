@@ -35,6 +35,15 @@ class TestPartitionRoots:
         with pytest.raises(ClusterConfigurationError):
             partition_roots(5, 0)
 
+    def test_negative_roots_rejected(self):
+        with pytest.raises(ClusterConfigurationError):
+            partition_roots(-1, 3)
+
+    def test_zero_roots_gives_empty_parts(self):
+        parts = partition_roots(0, 4)
+        assert len(parts) == 4
+        assert all(p.size == 0 for p in parts)
+
 
 class TestValues:
     @pytest.mark.parametrize("ranks", [1, 2, 3, 7])
@@ -46,6 +55,13 @@ class TestValues:
         for g in (two_components, small_sw):
             ref = brandes_reference(g)
             assert np.allclose(distributed_bc_values(g, 4), ref)
+
+    def test_zero_root_ranks_contribute_zero_vector(self, fig1):
+        # More ranks than vertices: the surplus ranks get empty root
+        # partitions and must contribute zeros to the reduce rather
+        # than being dropped (or corrupting it).
+        ref = brandes_reference(fig1)
+        assert np.allclose(distributed_bc_values(fig1, 12), ref)
 
     def test_comm_mismatch(self, fig1):
         with pytest.raises(ClusterConfigurationError):

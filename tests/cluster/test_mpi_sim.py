@@ -66,6 +66,55 @@ class TestCollectives:
             SimComm(0)
 
 
+class TestAdversarialInputs:
+    """Collectives under hostile inputs: wrong-length value lists,
+    mismatched shapes, empty arrays."""
+
+    @pytest.mark.parametrize("n_values", [0, 1, 2, 5])
+    def test_wrong_length_lists_rejected_everywhere(self, n_values):
+        comm = SimComm(3)
+        values = [np.ones(2)] * n_values
+        for collective in (comm.scatter, comm.gather, comm.allgather,
+                           comm.reduce, comm.allreduce):
+            with pytest.raises(CommunicatorError):
+                collective(values)
+
+    def test_reduce_shape_mismatch(self):
+        comm = SimComm(3)
+        vals = [np.ones(4), np.ones(4), np.ones(5)]
+        with pytest.raises(CommunicatorError, match="shape mismatch"):
+            comm.reduce(vals)
+
+    def test_allreduce_shape_mismatch(self):
+        comm = SimComm(2)
+        with pytest.raises(CommunicatorError, match="shape mismatch"):
+            comm.allreduce([np.ones((2, 2)), np.ones(4)])
+
+    def test_reduce_shape_mismatch_with_custom_op(self):
+        comm = SimComm(2)
+        with pytest.raises(CommunicatorError):
+            comm.reduce([np.ones(3), np.ones(2)], op=np.maximum)
+
+    def test_reduce_empty_arrays(self):
+        comm = SimComm(3)
+        out = comm.reduce([np.empty(0)] * 3)
+        assert isinstance(out, np.ndarray)
+        assert out.size == 0
+
+    def test_reduce_scalars_unaffected_by_shape_check(self):
+        comm = SimComm(3)
+        assert comm.reduce([1, 2, 3]) == 6
+
+    def test_bad_root_on_every_rooted_collective(self):
+        comm = SimComm(2)
+        for call in (lambda: comm.bcast(1, root=2),
+                     lambda: comm.scatter([1, 2], root=-1),
+                     lambda: comm.gather([1, 2], root=7),
+                     lambda: comm.reduce([1, 2], root=2)):
+            with pytest.raises(CommunicatorError):
+                call()
+
+
 class TestCommCosting:
     def test_charges_accumulate(self):
         comm = SimComm(4, link=INFINIBAND_QDR)
@@ -85,3 +134,13 @@ class TestCommCosting:
         comm = SimComm(4, link=INFINIBAND_QDR)
         comm.barrier()
         assert comm.elapsed_comm_seconds > 0.0
+
+    def test_custom_op_charges_same_bytes_as_default(self):
+        vals = [np.zeros(1000)] * 4
+        default = SimComm(4, link=INFINIBAND_QDR)
+        default.reduce(vals)
+        custom = SimComm(4, link=INFINIBAND_QDR)
+        custom.reduce(vals, op=np.maximum)
+        assert custom.elapsed_comm_seconds == pytest.approx(
+            default.elapsed_comm_seconds
+        )

@@ -34,3 +34,30 @@ class TestMain:
         assert main(["figure5", "--scale-factor", "1", "--roots", "2",
                      "--scales", "8", "9"]) == 0
         assert "GPU-FAN" in capsys.readouterr().out
+
+
+@pytest.mark.faults
+class TestResilienceCommand:
+    def test_parser_accepts_fault_options(self):
+        args = build_parser().parse_args(
+            ["resilience", "--faults", "fail:0@reduce", "--ranks", "3",
+             "--max-retries", "1"]
+        )
+        assert args.experiment == "resilience"
+        assert args.faults == "fail:0@reduce"
+        assert args.ranks == 3
+        assert args.max_retries == 1
+
+    def test_recovered_run_reports_exact(self, capsys):
+        assert main(["resilience", "--scale-factor", "256",
+                     "--faults", "fail:1@compute+1", "--ranks", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "EXACT" in out
+        assert "fail-stop" in out
+
+    def test_exhausted_run_reports_degraded(self, capsys):
+        assert main(["resilience", "--scale-factor", "256",
+                     "--faults", "oom:0x9", "--ranks", "1",
+                     "--max-retries", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "DEGRADED" in out

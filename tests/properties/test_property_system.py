@@ -128,3 +128,23 @@ def test_pearson_affine_invariance(xs, a, b):
     if x.std() <= 1e-9 * (np.abs(x).max() + 1.0) or y.std() == 0.0:
         return
     assert abs(pearson(x, y) - 1.0) < 1e-6
+
+
+# ----------------------------------------------------------------------
+# resilience: recovery is exact for arbitrary single fail-stop points
+# ----------------------------------------------------------------------
+@given(graphs(max_n=10, max_m=20),
+       st.integers(2, 5),                 # ranks
+       st.integers(0, 4),                 # victim rank (mod ranks)
+       st.sampled_from(["compute", "bcast", "reduce", "barrier"]),
+       st.integers(0, 3))                 # roots completed before dying
+@settings(max_examples=30, deadline=None)
+def test_resilient_bc_survives_any_single_fail_stop(g, ranks, victim,
+                                                    where, after):
+    from repro.resilience import FaultPlan, resilient_distributed_bc
+
+    plan = FaultPlan.fail_stop(victim % ranks, where=where,
+                               after_roots=after)
+    run = resilient_distributed_bc(g, ranks, fault_plan=plan)
+    assert run.exact
+    assert np.allclose(run.values, brandes_reference(g))

@@ -1,0 +1,170 @@
+"""Unit tests for the deterministic fault injector."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    DeviceOutOfMemoryError,
+    FaultSpecError,
+    RankFailure,
+)
+from repro.gpusim.device import Device
+from repro.resilience import (
+    FAIL_STOP,
+    OOM,
+    STRAGGLER,
+    FaultEvent,
+    FaultPlan,
+    FaultyComm,
+    FaultyDevice,
+)
+
+pytestmark = pytest.mark.faults
+
+
+class TestFaultEvent:
+    def test_defaults(self):
+        ev = FaultEvent(FAIL_STOP, 1)
+        assert ev.where == "compute"
+        assert ev.times == 1
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(kind="meteor", rank=0),
+        dict(kind=FAIL_STOP, rank=-1),
+        dict(kind=FAIL_STOP, rank=0, where="teleport"),
+        dict(kind=OOM, rank=0, where="reduce"),       # OOM only at compute
+        dict(kind=STRAGGLER, rank=0, where="bcast"),
+        dict(kind=FAIL_STOP, rank=0, after_roots=-1),
+        dict(kind=OOM, rank=0, times=0),
+        dict(kind=STRAGGLER, rank=0, factor=0.5),
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(FaultSpecError):
+            FaultEvent(**kwargs)
+
+
+class TestFaultPlan:
+    def test_constructors(self):
+        assert FaultPlan.fail_stop(2, where="reduce").events[0].where == "reduce"
+        assert FaultPlan.transient_oom(0, times=3).events[0].times == 3
+        assert FaultPlan.straggler(1, 2.5).events[0].factor == 2.5
+
+    def test_rejects_non_events(self):
+        with pytest.raises(FaultSpecError):
+            FaultPlan(("not an event",))
+
+    def test_random_deterministic(self):
+        a = FaultPlan.random(8, seed=42, num_faults=5)
+        b = FaultPlan.random(8, seed=42, num_faults=5)
+        assert a.events == b.events
+        assert len(a.events) == 5
+        assert all(0 <= ev.rank < 8 for ev in a.events)
+
+    def test_parse(self):
+        plan = FaultPlan.parse("fail:1@reduce; oom:0x2; straggler:2x3.5")
+        kinds = [ev.kind for ev in plan.events]
+        assert kinds == [FAIL_STOP, OOM, STRAGGLER]
+        assert plan.events[0].where == "reduce"
+        assert plan.events[1].times == 2
+        assert plan.events[2].factor == 3.5
+
+    def test_parse_after_roots(self):
+        plan = FaultPlan.parse("fail:2+3")
+        assert plan.events[0].after_roots == 3
+        assert plan.events[0].where == "compute"
+
+    @pytest.mark.parametrize("spec", [
+        "fail", "explode:1", "fail:x", "straggler:1", "oom:0xq",
+        "fail:0@warp",
+    ])
+    def test_parse_errors(self, spec):
+        with pytest.raises(FaultSpecError):
+            FaultPlan.parse(spec)
+
+    def test_parse_empty_is_faultless(self):
+        assert FaultPlan.parse("").events == ()
+
+
+class TestActiveFaults:
+    def test_collective_crash_consumed(self):
+        state = FaultPlan.fail_stop(1, where="reduce").start()
+        assert state.crash_at(1, "reduce")
+        assert not state.crash_at(1, "reduce")  # one-shot
+        assert not state.crash_at(0, "reduce")
+
+    def test_oom_counts_down(self):
+        state = FaultPlan.transient_oom(0, times=2).start()
+        assert state.oom_fires(0)
+        assert state.oom_fires(0)
+        assert not state.oom_fires(0)
+
+    def test_straggler_persistent(self):
+        state = FaultPlan.straggler(2, 4.0).start()
+        assert state.straggler_factor(2) == 4.0
+        assert state.straggler_factor(2) == 4.0
+        assert state.straggler_factor(0) == 1.0
+
+    def test_plan_replayable(self):
+        plan = FaultPlan.fail_stop(0, where="bcast")
+        assert plan.start().crash_at(0, "bcast")
+        assert plan.start().crash_at(0, "bcast")  # fresh state each run
+
+
+class TestFaultyComm:
+    def test_kills_planned_rank(self):
+        comm = FaultyComm(3, faults=FaultPlan.fail_stop(1, where="bcast").start())
+        with pytest.raises(RankFailure) as exc:
+            comm.bcast(42)
+        assert exc.value.rank == 1
+        assert exc.value.where == "bcast"
+
+    def test_retry_after_mark_dead_succeeds(self):
+        comm = FaultyComm(3, faults=FaultPlan.fail_stop(2, where="reduce").start())
+        vals = [np.ones(4)] * 3
+        with pytest.raises(RankFailure) as exc:
+            comm.reduce(vals)
+        comm.mark_dead(exc.value.rank)
+        assert comm.num_live == 2
+        out = comm.reduce(vals)
+        assert np.allclose(out, 3.0)
+
+    def test_dead_rank_does_not_fire(self):
+        comm = FaultyComm(2, faults=FaultPlan.fail_stop(0, where="barrier").start())
+        comm.mark_dead(0)
+        comm.barrier()  # no raise: the victim is already gone
+
+    def test_faultless_comm_behaves_like_simcomm(self):
+        comm = FaultyComm(2)
+        assert comm.bcast("x") == ["x", "x"]
+
+
+class TestFaultyDevice:
+    def test_oom_injection(self, fig1):
+        dev = FaultyDevice(0, FaultPlan.transient_oom(0).start())
+        with pytest.raises(DeviceOutOfMemoryError):
+            dev.run_bc(fig1, strategy="work-efficient")
+        # transient: the retry succeeds and matches a healthy device
+        run = dev.run_bc(fig1, strategy="work-efficient")
+        ref = Device().run_bc(fig1, strategy="work-efficient")
+        assert np.allclose(run.bc, ref.bc)
+
+    def test_fail_stop_injection(self, fig1):
+        dev = FaultyDevice(1, FaultPlan.fail_stop(1, after_roots=2).start())
+        with pytest.raises(RankFailure) as exc:
+            dev.run_bc(fig1, strategy="work-efficient")
+        assert exc.value.rank == 1
+        assert exc.value.roots_done == 2
+
+    def test_other_ranks_unaffected(self, fig1):
+        state = FaultPlan.transient_oom(0).start()
+        healthy = FaultyDevice(1, state)
+        run = healthy.run_bc(fig1, strategy="work-efficient")
+        assert run.bc.size == fig1.num_vertices
+
+    def test_straggler_scales_time_not_values(self, fig1):
+        state = FaultPlan.straggler(0, 3.0).start()
+        slow = FaultyDevice(0, state).run_bc(fig1, strategy="work-efficient")
+        fast = Device().run_bc(fig1, strategy="work-efficient")
+        assert np.allclose(slow.bc, fast.bc)
+        assert slow.seconds == pytest.approx(3.0 * fast.seconds)
+        assert slow.cycles == pytest.approx(3.0 * fast.cycles)

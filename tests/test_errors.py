@@ -8,10 +8,14 @@ from repro.errors import (
     CommunicatorError,
     DeviceConfigurationError,
     DeviceOutOfMemoryError,
+    FaultSpecError,
     GraphFormatError,
     GraphStructureError,
+    RankFailure,
     ReproError,
+    RetryExhaustedError,
     StrategyError,
+    WorkerPoolError,
 )
 
 ALL_ERRORS = [
@@ -22,6 +26,10 @@ ALL_ERRORS = [
     StrategyError,
     ClusterConfigurationError,
     CommunicatorError,
+    FaultSpecError,
+    RankFailure,
+    RetryExhaustedError,
+    WorkerPoolError,
 ]
 
 
@@ -41,6 +49,20 @@ class TestHierarchy:
     def test_oom_without_label(self):
         e = DeviceOutOfMemoryError(1, 0, 0)
         assert "for" not in str(e).split(":")[0]
+
+    def test_rank_failure_carries_context(self):
+        e = RankFailure(3, where="reduce", roots_done=7)
+        assert e.rank == 3
+        assert e.where == "reduce"
+        assert e.roots_done == 7
+        assert "rank 3" in str(e)
+        assert "reduce" in str(e)
+
+    def test_retry_exhausted_carries_context(self):
+        e = RetryExhaustedError(pending_roots=12, retries=3)
+        assert e.pending_roots == 12
+        assert e.retries == 3
+        assert "12" in str(e)
 
     def test_catch_all(self, fig1):
         from repro.gpusim.device import Device
