@@ -1,0 +1,130 @@
+"""Baseline benchmark harness: the first point on the repo's perf trajectory.
+
+Runs every device strategy over a sample of Table II datasets (shrunk
+by ``--scale-factor``) and writes ``BENCH_baseline.json``.  The body of
+the document is *simulated* and therefore deterministic — makespan
+cycles, simulated seconds, MTEPS, per-level totals — so future PRs that
+claim a perf win (sharding, batching, caching) can diff against it
+exactly; real wall-clock measurements of the Python harness itself are
+segregated under the single ``timing`` key, following the
+``repro.observability`` export convention.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/baseline.py --out BENCH_baseline.json
+
+Regenerate (same flags, same seed) whenever the cost model or the
+engine changes behaviour on purpose; CI's profile-smoke job and the
+observability tests keep the schema honest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.graph.generators import make_dataset
+from repro.gpusim import GTX_TITAN, Device
+from repro.observability import MetricsRegistry
+
+BENCH_SCHEMA = "repro.bench/v1"
+
+#: One dataset per structural class, small enough for laptop CI.
+DATASET_NAMES = (
+    "caidaRouterLevel",   # scale-free
+    "delaunay_n20",       # mesh
+    "kron_g500-logn20",   # scale-free, isolated vertices
+    "luxembourg.osm",     # road, high diameter
+    "smallworld",         # small world
+)
+
+#: Strategies benchmarked (gpu-fan excluded: its O(n^2) predecessor
+#: matrix is the Figure 5 failure mode, not a baseline to track).
+STRATEGY_NAMES = (
+    "work-efficient",
+    "edge-parallel",
+    "vertex-parallel",
+    "hybrid",
+    "sampling",
+)
+
+
+def run_baseline(scale_factor: int = 1024, roots: int = 16, seed: int = 0):
+    """Return ``(document, wall_per_run)`` for the baseline sweep."""
+    device = Device(GTX_TITAN)
+    results = []
+    wall_per_run = {}
+    for name in DATASET_NAMES:
+        g = make_dataset(name, scale_factor=scale_factor, seed=seed)
+        rng = np.random.default_rng(seed)
+        sample = np.sort(rng.choice(g.num_vertices,
+                                    size=min(roots, g.num_vertices),
+                                    replace=False))
+        for strategy in STRATEGY_NAMES:
+            metrics = MetricsRegistry()
+            t0 = time.perf_counter()
+            run = device.run_bc(g, strategy=strategy, roots=sample,
+                                metrics=metrics)
+            wall = time.perf_counter() - t0
+            wall_per_run[f"{name}/{strategy}"] = wall
+            levels = sum(len(rt.levels) for rt in run.trace.roots)
+            results.append({
+                "dataset": name,
+                "strategy": strategy,
+                "num_vertices": int(g.num_vertices),
+                "num_edges": int(g.num_edges),
+                "num_roots": int(run.num_roots),
+                "makespan_cycles": float(run.cycles),
+                "sim_seconds": float(run.seconds),
+                "mteps": float(run.mteps()),
+                "extrapolated_mteps": float(run.extrapolated_mteps()),
+                "levels_traced": int(levels),
+                "bytes_allocated": int(sum(run.memory_report.values())),
+                "sampling_chose_edge_parallel":
+                    run.sampling_chose_edge_parallel,
+            })
+    doc = {
+        "schema": BENCH_SCHEMA,
+        "config": {
+            "device": GTX_TITAN.name,
+            "scale_factor": int(scale_factor),
+            "roots": int(roots),
+            "seed": int(seed),
+        },
+        "results": results,
+    }
+    return doc, wall_per_run
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_baseline.json")
+    parser.add_argument("--scale-factor", type=int, default=1024)
+    parser.add_argument("--roots", type=int, default=16)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    t0 = time.perf_counter()
+    doc, wall_per_run = run_baseline(scale_factor=args.scale_factor,
+                                     roots=args.roots, seed=args.seed)
+    doc["timing"] = {
+        "wall_seconds": time.perf_counter() - t0,
+        "per_run": wall_per_run,
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps(doc, sort_keys=True, indent=2,
+                            separators=(",", ": ")) + "\n")
+    for row in doc["results"]:
+        print(f"{row['dataset']:>20s} {row['strategy']:>15s} "
+              f"{row['makespan_cycles']:>14.0f} cycles "
+              f"{row['mteps']:>8.1f} MTEPS")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

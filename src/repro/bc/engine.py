@@ -22,6 +22,7 @@ from ..errors import StrategyError
 from ..graph.csr import CSRGraph
 from ..gpusim.cost import CostModel
 from ..gpusim.trace import LevelTrace, RootTrace
+from ..observability.registry import NULL_REGISTRY
 from .accumulation import accumulate_level
 from .frontier import forward_sweep
 from .policies import (
@@ -43,6 +44,7 @@ def run_root(
     costs: CostModel,
     chunk: int,
     device_chunk: int | None = None,
+    metrics=None,
 ) -> RootTrace:
     """Process one BC root under ``policy``, charging ``costs``.
 
@@ -57,7 +59,14 @@ def run_root(
     device_chunk:
         Device-wide concurrency, required for the ``gpu-fan`` strategy
         (all SMs cooperate on a single root).
+    metrics:
+        Optional :class:`~repro.observability.MetricsRegistry`; records
+        per-level ``engine.*`` counters (frontier/edge counts, cycles,
+        strategy chosen per level).  Defaults to the no-op registry, so
+        uninstrumented runs pay nothing.
     """
+    if metrics is None:
+        metrics = NULL_REGISTRY
     n = g.num_vertices
     m_dir = g.num_directed_edges
     deg = g.degrees
@@ -103,6 +112,11 @@ def run_root(
         trace.add(LevelTrace(depth=depth, stage="forward", strategy=strategy,
                              frontier_size=int(frontier.size),
                              edge_frontier=ef, cycles=cycles))
+        metrics.inc("engine.levels", stage="forward", strategy=strategy)
+        metrics.inc("engine.frontier_vertices", frontier.size, stage="forward")
+        metrics.inc("engine.frontier_edges", ef, stage="forward")
+        metrics.inc("engine.cycles", cycles, stage="forward", strategy=strategy)
+        metrics.observe("engine.frontier_size", frontier.size, stage="forward")
         strategy_by_depth[depth] = strategy
         state["strategy"] = policy.next_strategy(
             strategy, int(frontier.size), q_next_len
@@ -127,5 +141,11 @@ def run_root(
         trace.add(LevelTrace(depth=depth, stage="backward", strategy=strategy,
                              frontier_size=int(level.size),
                              edge_frontier=ef, cycles=cycles))
+        metrics.inc("engine.levels", stage="backward", strategy=strategy)
+        metrics.inc("engine.frontier_vertices", level.size, stage="backward")
+        metrics.inc("engine.frontier_edges", ef, stage="backward")
+        metrics.inc("engine.cycles", cycles, stage="backward", strategy=strategy)
     bc += delta
+    metrics.inc("engine.roots")
+    metrics.observe("engine.root_cycles", trace.cycles)
     return trace

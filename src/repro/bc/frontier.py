@@ -23,6 +23,7 @@ import numpy as np
 
 from .._util import concat_ranges
 from ..graph.csr import CSRGraph
+from ..observability.registry import NULL_REGISTRY
 
 __all__ = ["ForwardResult", "forward_sweep", "SIGMA_RESCALE_LIMIT"]
 
@@ -77,7 +78,7 @@ class ForwardResult:
 
 
 def forward_sweep(g: CSRGraph, source: int,
-                  on_level=None) -> ForwardResult:
+                  on_level=None, metrics=None) -> ForwardResult:
     """Run the shortest-path calculation stage from ``source``.
 
     Parameters
@@ -87,7 +88,13 @@ def forward_sweep(g: CSRGraph, source: int,
         invoked after each level is processed, *before* the next one
         begins — this is the hook the hybrid policy (Algorithm 4) uses
         to reconsider its parallelisation strategy between iterations.
+    metrics:
+        Optional :class:`~repro.observability.MetricsRegistry`; records
+        per-level frontier counters (``frontier.*`` series).  Defaults
+        to the process-wide no-op registry.
     """
+    if metrics is None:
+        metrics = NULL_REGISTRY
     n = g.num_vertices
     source = int(source)
     if not 0 <= source < n:
@@ -128,6 +135,10 @@ def forward_sweep(g: CSRGraph, source: int,
                 scales.append(mx)
             else:
                 scales.append(1.0)
+        metrics.inc("frontier.levels")
+        metrics.inc("frontier.frontier_vertices", frontier.size)
+        metrics.inc("frontier.edges_inspected", nbrs.size)
+        metrics.inc("frontier.discovered", q_next.size)
         if on_level is not None:
             on_level(depth, frontier, int(q_next.size))
         if q_next.size == 0:
@@ -135,5 +146,7 @@ def forward_sweep(g: CSRGraph, source: int,
         frontier = q_next
         depth += 1
         levels.append(frontier)
+    metrics.inc("frontier.sweeps")
+    metrics.observe("frontier.max_depth", depth)
     return ForwardResult(source=source, distances=d, sigma=sigma, levels=levels,
                          level_scales=np.asarray(scales, dtype=np.float64))

@@ -15,6 +15,17 @@ distributed driver against an injected fault plan::
 
     python -m repro resilience --faults "fail:1@reduce;oom:0x2" \
         --ranks 4 --max-retries 3
+
+``profile`` runs one instrumented device run and writes a kernel
+profile (schema ``repro.profile/v1``: per root, per BFS level —
+frontier sizes, strategy chosen, charged cycles) plus the metrics
+registry export::
+
+    python -m repro profile --graph kron_g500-logn20 --scale-factor 4096 \
+        --strategy sampling --roots 16 --out profile.json
+
+Every command also accepts ``--metrics-out metrics.json`` to export the
+run's metrics registry (``repro.observability/v1``).
 """
 
 from __future__ import annotations
@@ -35,9 +46,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "resilience"],
+        choices=sorted(EXPERIMENTS) + ["all", "resilience", "profile"],
         help="which table/figure to regenerate ('all' for every paper "
-             "artifact, 'resilience' for a fault-injected distributed run)",
+             "artifact, 'resilience' for a fault-injected distributed run, "
+             "'profile' for an instrumented device run exported as JSON)",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the run's metrics registry (counters/spans/histograms, "
+             "schema repro.observability/v1) to this JSON file",
     )
     parser.add_argument("--scale-factor", type=int, default=64,
                         help="divide paper-scale dataset sizes by this (default 64)")
@@ -58,10 +75,61 @@ def build_parser() -> argparse.ArgumentParser:
                         help="recovery rounds before degrading (default 3)")
     faults.add_argument("--budget", type=float, default=None,
                         help="wall-clock budget in seconds (default: none)")
+    prof = parser.add_argument_group("profile options")
+    prof.add_argument(
+        "--graph", default="kron_g500-logn20",
+        help="Table II dataset to profile (default kron_g500-logn20); "
+             "sized by --scale-factor",
+    )
+    prof.add_argument(
+        "--strategy", default="sampling",
+        help="device strategy to profile (default sampling)",
+    )
+    prof.add_argument(
+        "--out", default="profile.json", metavar="PATH",
+        help="where the profile JSON is written (default profile.json)",
+    )
     return parser
 
 
-def _render_resilience(args) -> str:
+def _render_profile(args, metrics) -> str:
+    """Run one instrumented device run and write the kernel profile."""
+    import numpy as np
+
+    from .graph.generators import make_dataset
+    from .gpusim import Device
+    from .observability import registry_to_dict, run_profile, write_json
+
+    g = make_dataset(args.graph, scale_factor=args.scale_factor,
+                     seed=args.seed)
+    rng = np.random.default_rng(args.seed)
+    roots = np.sort(rng.choice(g.num_vertices,
+                               size=min(args.roots, g.num_vertices),
+                               replace=False))
+    run = Device().run_bc(g, strategy=args.strategy, roots=roots,
+                          metrics=metrics)
+    doc = run_profile(run, graph=g)
+    reg = registry_to_dict(metrics)
+    # One document: deterministic profile + metrics body; everything
+    # wall-clock-dependent stays under the single "timing" key so two
+    # seeded runs serialise byte-identically outside it.
+    doc["metrics"] = {k: reg[k] for k in ("counters", "gauges", "histograms")}
+    doc["timing"] = reg["timing"]
+    write_json(args.out, doc)
+    lines = [
+        f"profile          : {args.out}",
+        f"graph            : {g.name or args.graph} "
+        f"(n={g.num_vertices}, m={g.num_edges})",
+        f"strategy         : {run.strategy} ({run.num_roots} roots)",
+        f"makespan cycles  : {run.cycles:.0f} "
+        f"({run.seconds * 1e3:.3f} simulated ms, {run.mteps():.1f} MTEPS)",
+        f"levels traced    : "
+        f"{sum(len(rt.levels) for rt in run.trace.roots)}",
+    ]
+    return "\n".join(lines)
+
+
+def _render_resilience(args, metrics=None) -> str:
     """Run the fault-tolerant distributed driver on a small graph and
     report the recovery record next to the serial ground truth."""
     import numpy as np
@@ -75,7 +143,7 @@ def _render_resilience(args) -> str:
     plan = FaultPlan.parse(args.faults)
     run = resilient_distributed_bc(
         g, args.ranks, fault_plan=plan, max_retries=args.max_retries,
-        wall_clock_budget=args.budget, seed=args.seed,
+        wall_clock_budget=args.budget, seed=args.seed, metrics=metrics,
     )
     ref = betweenness_centrality(g)
     err = float(np.max(np.abs(run.values - ref)))
@@ -105,17 +173,32 @@ def _render(name: str, cfg: ExperimentConfig, scales) -> str:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    if args.experiment == "resilience":
-        print(_render_resilience(args))
-        print()
+    from .observability import MetricsRegistry, write_json
+
+    metrics = MetricsRegistry()
+    try:
+        if args.experiment == "profile":
+            print(_render_profile(args, metrics))
+            print()
+            return 0
+        if args.experiment == "resilience":
+            print(_render_resilience(args, metrics=metrics))
+            print()
+            return 0
+        cfg = ExperimentConfig(scale_factor=args.scale_factor,
+                               root_sample=args.roots, seed=args.seed)
+        names = (sorted(EXPERIMENTS) if args.experiment == "all"
+                 else [args.experiment])
+        for name in names:
+            with metrics.span("experiment", name=name):
+                out = _render(name, cfg, args.scales)
+            metrics.inc("cli.experiments_rendered", name=name)
+            print(out)
+            print()
         return 0
-    cfg = ExperimentConfig(scale_factor=args.scale_factor,
-                           root_sample=args.roots, seed=args.seed)
-    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        print(_render(name, cfg, args.scales))
-        print()
-    return 0
+    finally:
+        if args.metrics_out:
+            write_json(args.metrics_out, metrics)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -21,6 +21,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..errors import CommunicatorError
+from ..observability.registry import NULL_REGISTRY
 from .interconnect import LinkModel
 
 __all__ = ["SimComm"]
@@ -39,14 +40,29 @@ def _nbytes(value) -> int:
 
 
 class SimComm:
-    """A simulated communicator over ``size`` ranks."""
+    """A simulated communicator over ``size`` ranks.
 
-    def __init__(self, size: int, link: LinkModel | None = None):
+    Parameters
+    ----------
+    metrics:
+        Optional :class:`~repro.observability.MetricsRegistry`; every
+        collective records ``comm.calls``/``comm.bytes``/``comm.seconds``
+        counters labelled by operation.  All values are simulated, so
+        they export deterministically.  Each call is also appended to
+        :attr:`timeline` — ``(op, nbytes, seconds)`` dicts in program
+        order — which distributed drivers use to reconstruct per-rank
+        communication timelines.
+    """
+
+    def __init__(self, size: int, link: LinkModel | None = None,
+                 metrics=None):
         if size < 1:
             raise CommunicatorError("communicator size must be >= 1")
         self.size = int(size)
         self.link = link
         self.elapsed_comm_seconds = 0.0
+        self.metrics = NULL_REGISTRY if metrics is None else metrics
+        self.timeline: list = []
 
     # ------------------------------------------------------------------
     def _check_rank(self, rank: int) -> int:
@@ -61,41 +77,45 @@ class SimComm:
                 f"expected {self.size} per-rank values, got {len(values)}"
             )
 
-    def _charge(self, nbytes: int, tree: bool = True) -> None:
-        if self.link is None:
-            return
-        if tree:
-            self.elapsed_comm_seconds += self.link.tree_collective_seconds(
-                nbytes, self.size
-            )
-        else:
-            self.elapsed_comm_seconds += self.link.transfer_seconds(nbytes)
+    def _charge(self, nbytes: int, tree: bool = True, op: str = "collective") -> None:
+        seconds = 0.0
+        if self.link is not None:
+            if tree:
+                seconds = self.link.tree_collective_seconds(nbytes, self.size)
+            else:
+                seconds = self.link.transfer_seconds(nbytes)
+            self.elapsed_comm_seconds += seconds
+        self.timeline.append({"op": op, "nbytes": int(nbytes),
+                              "seconds": seconds})
+        self.metrics.inc("comm.calls", op=op)
+        self.metrics.inc("comm.bytes", nbytes, op=op)
+        self.metrics.inc("comm.seconds", seconds, op=op)
 
     # ------------------------------------------------------------------
     def bcast(self, value, root: int = 0):
         """Return the root's value as every rank's value."""
         self._check_rank(root)
-        self._charge(_nbytes(value))
+        self._charge(_nbytes(value), op="bcast")
         return [value for _ in range(self.size)]
 
     def scatter(self, values: Sequence, root: int = 0):
         """Distribute one value to each rank from the root's list."""
         self._check_rank(root)
         self._check_values(values)
-        self._charge(_nbytes(values))
+        self._charge(_nbytes(values), op="scatter")
         return list(values)
 
     def gather(self, values: Sequence, root: int = 0):
         """Collect every rank's value at the root."""
         self._check_rank(root)
         self._check_values(values)
-        self._charge(_nbytes(values))
+        self._charge(_nbytes(values), op="gather")
         return list(values)
 
     def allgather(self, values: Sequence):
         """Every rank receives every value."""
         self._check_values(values)
-        self._charge(_nbytes(values))
+        self._charge(_nbytes(values), op="allgather")
         return [list(values) for _ in range(self.size)]
 
     def _check_reduce_shapes(self, values: Sequence) -> None:
@@ -126,7 +146,7 @@ class SimComm:
         self._check_reduce_shapes(values)
         # One per-rank payload travels each tree edge regardless of the
         # combining operator: charge the same bytes on both paths.
-        self._charge(_nbytes(values[0]))
+        self._charge(_nbytes(values[0]), op="reduce")
         if op is None:
             acc = values[0].copy() if isinstance(values[0], np.ndarray) else values[0]
             for v in values[1:]:
@@ -140,10 +160,10 @@ class SimComm:
     def allreduce(self, values: Sequence, op: Callable = None):
         """Reduce then make the result visible to all ranks."""
         acc = self.reduce(values, op=op, root=0)
-        self._charge(_nbytes(acc))
+        self._charge(_nbytes(acc), op="allreduce")
         return [acc.copy() if isinstance(acc, np.ndarray) else acc
                 for _ in range(self.size)]
 
     def barrier(self) -> None:
         """Synchronise (charges one empty tree collective)."""
-        self._charge(0)
+        self._charge(0, op="barrier")

@@ -43,6 +43,7 @@ from ..bc.sampling import (
 )
 from ..errors import GraphFormatError, StrategyError
 from ..graph.csr import CSRGraph
+from ..observability.registry import NULL_REGISTRY
 from .cost import DEFAULT_COSTS, CostModel
 from .memory import DeviceMemoryModel, strategy_footprint
 from .spec import GTX_TITAN, GPUSpec
@@ -192,6 +193,7 @@ class Device:
         min_frontier: int = DEFAULT_MIN_FRONTIER,
         strict_reader: bool = False,
         check_memory: bool = True,
+        metrics=None,
     ) -> DeviceRun:
         """Run BC on the device under ``strategy``.
 
@@ -212,7 +214,15 @@ class Device:
         check_memory:
             Allocate all device structures first and raise
             :class:`DeviceOutOfMemoryError` if they exceed capacity.
+        metrics:
+            Optional :class:`~repro.observability.MetricsRegistry`.
+            Records ``device.*`` series (roots, cycles, makespan, bytes
+            allocated) plus the per-level ``engine.*`` series of every
+            root, inside a ``device.run_bc`` span.  Export the finished
+            trace with :func:`repro.observability.run_profile`.
         """
+        if metrics is None:
+            metrics = NULL_REGISTRY
         if strategy not in STRATEGIES:
             raise StrategyError(
                 f"unknown strategy {strategy!r}; known: {STRATEGIES}"
@@ -250,17 +260,20 @@ class Device:
 
         fixed_cycles = 0.0
         fixed_roots = 0
-        if strategy == GPU_FAN:
-            run = self._run_gpu_fan(g, roots, bc, chunk)
-        elif strategy == "sampling":
-            run = self._run_sampling(g, roots, bc, chunk, n_samps, gamma,
-                                     min_frontier)
-            fixed_cycles = run[3]
-            fixed_roots = run[4]
-            run = run[:3]
-        else:
-            policy_factory = self._policy_factory(strategy, alpha, beta)
-            run = self._run_coarse(g, roots, bc, chunk, policy_factory)
+        with metrics.span("device.run_bc", strategy=strategy,
+                          device=self.spec.name):
+            if strategy == GPU_FAN:
+                run = self._run_gpu_fan(g, roots, bc, chunk, metrics)
+            elif strategy == "sampling":
+                run = self._run_sampling(g, roots, bc, chunk, n_samps, gamma,
+                                         min_frontier, metrics)
+                fixed_cycles = run[3]
+                fixed_roots = run[4]
+                run = run[:3]
+            else:
+                policy_factory = self._policy_factory(strategy, alpha, beta)
+                run = self._run_coarse(g, roots, bc, chunk, policy_factory,
+                                       metrics)
 
         trace, makespan, extra = run
         slow = float(self.straggler_factor)
@@ -270,6 +283,16 @@ class Device:
             trace.makespan_cycles = makespan
         if g.undirected:
             bc /= 2.0
+        metrics.inc("device.runs", strategy=strategy)
+        metrics.inc("device.roots", roots.size, strategy=strategy)
+        metrics.inc("device.cycles", makespan, strategy=strategy)
+        metrics.inc("device.bytes_allocated",
+                    sum(memory_report.values()), strategy=strategy)
+        metrics.set_gauge("device.makespan_cycles", makespan, strategy=strategy)
+        metrics.set_gauge("device.sim_seconds", self.spec.seconds(makespan),
+                          strategy=strategy)
+        for rt in trace.roots:
+            metrics.observe("device.root_cycles", rt.cycles, strategy=strategy)
         return DeviceRun(
             bc=bc,
             trace=trace,
@@ -311,12 +334,14 @@ class Device:
             return lambda: HybridPolicy(**kw)
         raise StrategyError(f"no policy for {strategy!r}")
 
-    def _run_coarse(self, g, roots, bc, chunk, policy_factory):
+    def _run_coarse(self, g, roots, bc, chunk, policy_factory,
+                    metrics=NULL_REGISTRY):
         """Jia-style layout: blocks pull roots; makespan scheduling."""
         trace = RunTrace()
         for s in roots:
             trace.roots.append(
-                _run_root(g, int(s), bc, policy_factory(), self.costs, chunk)
+                _run_root(g, int(s), bc, policy_factory(), self.costs, chunk,
+                          metrics=metrics)
             )
         makespan, per_sm = _list_schedule(
             [rt.cycles for rt in trace.roots], self.spec.num_sms
@@ -325,7 +350,7 @@ class Device:
         trace.sm_cycles = per_sm
         return trace, makespan, None
 
-    def _run_gpu_fan(self, g, roots, bc, chunk):
+    def _run_gpu_fan(self, g, roots, bc, chunk, metrics=NULL_REGISTRY):
         """GPU-FAN layout: whole device per root, roots sequential."""
         trace = RunTrace()
         device_chunk = self.spec.total_threads
@@ -333,14 +358,15 @@ class Device:
         for s in roots:
             trace.roots.append(
                 _run_root(g, int(s), bc, policy, self.costs, chunk,
-                         device_chunk=device_chunk)
+                         device_chunk=device_chunk, metrics=metrics)
             )
         makespan = trace.total_root_cycles
         trace.makespan_cycles = makespan
         trace.sm_cycles = np.full(self.spec.num_sms, makespan)
         return trace, makespan, None
 
-    def _run_sampling(self, g, roots, bc, chunk, n_samps, gamma, min_frontier):
+    def _run_sampling(self, g, roots, bc, chunk, n_samps, gamma, min_frontier,
+                      metrics=NULL_REGISTRY):
         """Algorithm 5: classify with the first ``n_samps`` roots, then
         finish with the selected method."""
         trace = RunTrace()
@@ -349,17 +375,21 @@ class Device:
         phase2 = roots[k:]
         we = FixedPolicy(WORK_EFFICIENT)
         for s in phase1:
-            trace.roots.append(_run_root(g, int(s), bc, we, self.costs, chunk))
+            trace.roots.append(_run_root(g, int(s), bc, we, self.costs, chunk,
+                                         metrics=metrics))
         makespan1, _ = _list_schedule(
             [rt.cycles for rt in trace.roots], self.spec.num_sms
         )
         depths = [rt.max_depth for rt in trace.roots]
         use_ep = choose_edge_parallel(depths, g.num_vertices, gamma=gamma)
+        metrics.inc("device.sampling_classifications",
+                    chose="edge-parallel" if use_ep else "work-efficient")
         phase2_start = len(trace.roots)
         for s in phase2:
             policy = (FrontierGuardPolicy(min_frontier) if use_ep
                       else FixedPolicy(WORK_EFFICIENT))
-            trace.roots.append(_run_root(g, int(s), bc, policy, self.costs, chunk))
+            trace.roots.append(_run_root(g, int(s), bc, policy, self.costs, chunk,
+                                         metrics=metrics))
         makespan2, per_sm = _list_schedule(
             [rt.cycles for rt in trace.roots[phase2_start:]], self.spec.num_sms
         )

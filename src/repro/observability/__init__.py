@@ -1,0 +1,70 @@
+"""Observability layer: metrics registry, span tracing, kernel profiles.
+
+The measurement substrate every performance claim in this repo is
+checked against.  Three pieces:
+
+* :class:`MetricsRegistry` / :data:`NULL_REGISTRY` — counters, gauges,
+  fixed-bucket histograms and nested timed spans.  Instrumented
+  functions (``bc.engine``, ``gpusim.Device``, ``parallel.pool``,
+  ``cluster.SimComm``, ``resilience.driver``) take ``metrics=`` and
+  default to the shared no-op registry, so observation is opt-in and
+  zero-cost when off.
+* :class:`SpanClock` — one timeline for wall and charged simulated
+  seconds; budget checks and reports read the same ``elapsed()``.
+* Exporters — canonical JSON/CSV (``repro.observability/v1``) and
+  device kernel profiles (``repro.profile/v1``, via ``repro profile``).
+
+Quickstart::
+
+    from repro.observability import MetricsRegistry
+    from repro.gpusim import Device
+
+    metrics = MetricsRegistry()
+    run = Device().run_bc(g, strategy="sampling", metrics=metrics)
+    metrics.export()          # stable-schema dict
+"""
+
+from .clock import SpanClock
+from .export import SCHEMA, dumps, registry_to_dict, span_to_dict, write_csv, write_json
+from .profiles import (
+    PROFILE_SCHEMA,
+    level_profile,
+    root_profile,
+    run_profile,
+    spec_profile,
+    trace_profile,
+)
+from .registry import (
+    DEFAULT_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    Span,
+)
+
+__all__ = [
+    "SpanClock",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Span",
+    "DEFAULT_BUCKETS",
+    "SCHEMA",
+    "PROFILE_SCHEMA",
+    "registry_to_dict",
+    "span_to_dict",
+    "dumps",
+    "write_json",
+    "write_csv",
+    "level_profile",
+    "root_profile",
+    "trace_profile",
+    "spec_profile",
+    "run_profile",
+]

@@ -1,0 +1,77 @@
+"""Unified wall + simulated clock.
+
+The repo mixes two notions of time: real wall-clock seconds (process
+pools, CLI runs) and *charged* simulated seconds (device cycles,
+interconnect transfers, recovery backoff).  Timing bugs creep in when
+code adds the two ad hoc — the resilience driver used to charge its
+``sim_clock`` differently in the budget check than in the final report.
+:class:`SpanClock` is the single source of truth both paths read: wall
+time flows from an injectable monotonic source, simulated time is
+charged explicitly through :meth:`advance` under a named component, and
+:meth:`elapsed` is *defined* as their sum, so a budget check and a
+report that both call it can never disagree.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["SpanClock"]
+
+
+class SpanClock:
+    """Monotonic clock combining wall time with charged simulated time.
+
+    Parameters
+    ----------
+    wall:
+        Zero-argument callable returning monotonically non-decreasing
+        wall seconds (default :func:`time.monotonic`).  Tests inject a
+        manual counter to make span timings deterministic.
+    """
+
+    def __init__(self, wall=time.monotonic):
+        self._wall = wall
+        self._t0 = float(wall())
+        self._sim = 0.0
+        self._components: dict = {}
+
+    # ------------------------------------------------------------------
+    def advance(self, seconds: float, component: str = "sim") -> None:
+        """Charge ``seconds`` of simulated time under ``component``."""
+        seconds = float(seconds)
+        if not seconds >= 0.0:  # also rejects NaN
+            raise ValueError(f"cannot charge {seconds!r} simulated seconds")
+        self._sim += seconds
+        self._components[component] = self._components.get(component, 0.0) + seconds
+
+    # ------------------------------------------------------------------
+    def wall_seconds(self) -> float:
+        """Real seconds since the clock was created."""
+        return float(self._wall()) - self._t0
+
+    @property
+    def sim_seconds(self) -> float:
+        """Total simulated seconds charged so far."""
+        return self._sim
+
+    def component_seconds(self, component: str) -> float:
+        """Simulated seconds charged under one component name."""
+        return self._components.get(component, 0.0)
+
+    def components(self) -> dict:
+        """Snapshot of every simulated component's charged seconds."""
+        return dict(self._components)
+
+    def elapsed(self) -> float:
+        """Wall plus simulated seconds — the *only* elapsed-time value.
+
+        Budget checks and reports must both use this so they can never
+        drift apart.
+        """
+        return self.wall_seconds() + self._sim
+
+    #: Alias used by span bookkeeping: a span's start/end timestamps are
+    #: read from the same combined timeline.
+    def now(self) -> float:
+        return self.elapsed()

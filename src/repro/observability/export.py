@@ -1,0 +1,120 @@
+"""Stable-schema JSON and CSV exporters for a :class:`MetricsRegistry`.
+
+Schema contract (``repro.observability/v1``):
+
+* Top-level keys: ``schema``, ``counters``, ``gauges``, ``histograms``,
+  ``timing``.
+* Instrument lists are sorted by ``(name, labels)`` so two registries
+  holding the same data serialise byte-identically.
+* **Everything wall-clock-dependent lives under the single ``timing``
+  key** — span timestamps, wall-marked histograms and the registry's
+  wall/sim second totals.  Deleting ``timing`` from two exports of the
+  same deterministic run must leave byte-identical JSON; the
+  determinism tests rely on this.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+
+from .registry import MetricsRegistry, Span
+
+__all__ = [
+    "SCHEMA",
+    "registry_to_dict",
+    "span_to_dict",
+    "dumps",
+    "write_json",
+    "write_csv",
+]
+
+SCHEMA = "repro.observability/v1"
+
+
+def span_to_dict(span: Span) -> dict:
+    return {
+        "name": span.name,
+        "labels": dict(span.labels),
+        "start": span.start,
+        "end": span.end,
+        "duration": span.duration,
+        "children": [span_to_dict(c) for c in span.children],
+    }
+
+
+def _instrument_dict(inst) -> dict:
+    return {"name": inst.name, "labels": dict(inst.labels), "value": inst.value}
+
+
+def _histogram_dict(h) -> dict:
+    return {
+        "name": h.name,
+        "labels": dict(h.labels),
+        "buckets": list(h.buckets),
+        "counts": list(h.counts),
+        "count": h.count,
+        "sum": h.total,
+    }
+
+
+def registry_to_dict(registry: MetricsRegistry) -> dict:
+    """Export ``registry`` with the ``repro.observability/v1`` schema."""
+    sim_histograms = [h for h in registry.histograms() if not h.wall]
+    wall_histograms = [h for h in registry.histograms() if h.wall]
+    return {
+        "schema": SCHEMA,
+        "counters": [_instrument_dict(c) for c in registry.counters()],
+        "gauges": [_instrument_dict(g) for g in registry.gauges()],
+        "histograms": [_histogram_dict(h) for h in sim_histograms],
+        "timing": {
+            "wall_seconds": registry.clock.wall_seconds(),
+            "sim_seconds": registry.clock.sim_seconds,
+            "sim_components": registry.clock.components(),
+            "spans": [span_to_dict(s) for s in registry.root_spans],
+            "histograms": [_histogram_dict(h) for h in wall_histograms],
+        },
+    }
+
+
+def dumps(payload: dict) -> str:
+    """Canonical JSON serialisation (sorted keys, fixed separators) —
+    the byte-stability the determinism tests compare."""
+    return json.dumps(payload, sort_keys=True, indent=2, separators=(",", ": "))
+
+
+def write_json(path, registry_or_dict) -> dict:
+    """Write a registry (or an already-exported dict) as canonical JSON."""
+    payload = (registry_or_dict.export()
+               if isinstance(registry_or_dict, MetricsRegistry)
+               else registry_or_dict)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(dumps(payload) + "\n")
+    return payload
+
+
+def _labels_str(labels: dict) -> str:
+    return ";".join(f"{k}={v}" for k, v in sorted(labels.items()))
+
+
+def write_csv(path, registry: MetricsRegistry) -> None:
+    """Flatten scalar metrics to CSV rows ``kind,name,labels,field,value``.
+
+    Histograms emit one ``bucket<=B`` row per bucket plus ``count`` and
+    ``sum`` rows; spans are JSON-only (their nesting does not flatten).
+    Row order matches the JSON export's sort order.
+    """
+    with open(path, "w", encoding="utf-8", newline="") as fh:
+        w = csv.writer(fh)
+        w.writerow(["kind", "name", "labels", "field", "value"])
+        for c in registry.counters():
+            w.writerow(["counter", c.name, _labels_str(c.labels), "value", c.value])
+        for g in registry.gauges():
+            w.writerow(["gauge", g.name, _labels_str(g.labels), "value", g.value])
+        for h in registry.histograms():
+            kind = "wall_histogram" if h.wall else "histogram"
+            labels = _labels_str(h.labels)
+            for bound, count in zip(list(h.buckets) + ["inf"], h.counts):
+                w.writerow([kind, h.name, labels, f"bucket<={bound}", count])
+            w.writerow([kind, h.name, labels, "count", h.count])
+            w.writerow([kind, h.name, labels, "sum", h.total])

@@ -1,0 +1,264 @@
+"""Metrics registry: counters, gauges, histograms, and timed spans.
+
+One :class:`MetricsRegistry` collects everything a run wants to report:
+
+* **Counters** — monotonically increasing totals (levels processed,
+  bytes moved, incidents observed).
+* **Gauges** — last-write-wins values (makespan cycles, pool size).
+* **Histograms** — fixed-bucket distributions (frontier sizes, chunk
+  latencies).  Buckets are upper bounds; an implicit ``+inf`` bucket
+  catches the tail.
+* **Spans** — nested timed intervals via the :meth:`MetricsRegistry.span`
+  context manager, timestamped on a :class:`~repro.observability.clock.SpanClock`
+  so wall and charged simulated time share one timeline.
+
+Every instrument accepts keyword **labels**; the same name with
+different labels is a distinct series (``comm.bytes{op=bcast}`` vs
+``comm.bytes{op=reduce}``).
+
+Instrumented library code takes an optional registry defaulting to
+:data:`NULL_REGISTRY`, a shared no-op whose methods do nothing — the
+hot paths stay allocation-free and branch-free when observability is
+off (guarded by the overhead test in
+``tests/observability/test_overhead.py``).
+
+Histograms observing *wall-clock-derived* values must be created with
+``wall=True``: the exporter segregates them under the ``timing`` key so
+that everything outside ``timing`` is bit-reproducible across runs (the
+determinism the profile tests lock down).
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from .clock import SpanClock
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Span",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "DEFAULT_BUCKETS",
+]
+
+#: Default histogram buckets: powers of four spanning frontier sizes,
+#: byte counts and (milli)second latencies reasonably well.
+DEFAULT_BUCKETS = tuple(float(4**k) for k in range(-4, 16))
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+@dataclass
+class Counter:
+    """Monotonic total; :meth:`inc` rejects negative increments."""
+
+    name: str
+    labels: dict
+    value: float = 0.0
+
+    def inc(self, value: float = 1.0) -> None:
+        value = float(value)
+        if not value >= 0.0:  # also rejects NaN
+            raise ValueError(f"counter {self.name!r} cannot decrease by {value!r}")
+        self.value += value
+
+
+@dataclass
+class Gauge:
+    """Last-write-wins value."""
+
+    name: str
+    labels: dict
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+@dataclass
+class Histogram:
+    """Fixed-bucket histogram: ``counts[i]`` counts observations
+    ``<= buckets[i]``; ``counts[-1]`` is the implicit ``+inf`` tail."""
+
+    name: str
+    labels: dict
+    buckets: tuple
+    wall: bool = False
+    counts: list = field(default_factory=list)
+    count: int = 0
+    total: float = 0.0
+
+    def __post_init__(self):
+        bounds = tuple(float(b) for b in self.buckets)
+        if not bounds or any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError("histogram buckets must be non-empty and ascending")
+        self.buckets = bounds
+        if not self.counts:
+            self.counts = [0] * (len(bounds) + 1)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if math.isnan(value):
+            raise ValueError(f"histogram {self.name!r} cannot observe NaN")
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                break
+        else:
+            self.counts[-1] += 1
+        self.count += 1
+        self.total += value
+
+
+@dataclass
+class Span:
+    """One timed interval; children are spans opened while it was open."""
+
+    name: str
+    labels: dict
+    start: float
+    end: float | None = None
+    children: list = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        """Seconds between start and end (0.0 while still open)."""
+        return 0.0 if self.end is None else self.end - self.start
+
+
+class MetricsRegistry:
+    """Collects counters, gauges, histograms and spans for one run."""
+
+    enabled = True
+
+    def __init__(self, clock: SpanClock | None = None):
+        self.clock = clock if clock is not None else SpanClock()
+        self._counters: dict = {}
+        self._gauges: dict = {}
+        self._histograms: dict = {}
+        self.root_spans: list = []
+        self._span_stack: list = []
+
+    # -- instrument accessors ------------------------------------------
+    def counter(self, name: str, /, **labels) -> Counter:
+        key = (name, _label_key(labels))
+        inst = self._counters.get(key)
+        if inst is None:
+            inst = self._counters[key] = Counter(name, dict(labels))
+        return inst
+
+    def gauge(self, name: str, /, **labels) -> Gauge:
+        key = (name, _label_key(labels))
+        inst = self._gauges.get(key)
+        if inst is None:
+            inst = self._gauges[key] = Gauge(name, dict(labels))
+        return inst
+
+    def histogram(self, name: str, /, buckets=DEFAULT_BUCKETS, wall: bool = False,
+                  **labels) -> Histogram:
+        key = (name, _label_key(labels))
+        inst = self._histograms.get(key)
+        if inst is None:
+            inst = self._histograms[key] = Histogram(
+                name, dict(labels), tuple(buckets), wall=bool(wall)
+            )
+        return inst
+
+    # -- one-shot conveniences (what instrumented code calls) ----------
+    def inc(self, name: str, value: float = 1.0, /, **labels) -> None:
+        self.counter(name, **labels).inc(value)
+
+    def set_gauge(self, name: str, value: float, /, **labels) -> None:
+        self.gauge(name, **labels).set(value)
+
+    def observe(self, name: str, value: float, /, buckets=DEFAULT_BUCKETS,
+                wall: bool = False, **labels) -> None:
+        self.histogram(name, buckets=buckets, wall=wall, **labels).observe(value)
+
+    # -- spans ---------------------------------------------------------
+    @contextmanager
+    def span(self, name: str, /, **labels):
+        """Open a timed span; spans opened inside nest as children."""
+        s = Span(name=name, labels=dict(labels), start=self.clock.now())
+        parent = self._span_stack[-1] if self._span_stack else None
+        (parent.children if parent is not None else self.root_spans).append(s)
+        self._span_stack.append(s)
+        try:
+            yield s
+        finally:
+            s.end = self.clock.now()
+            self._span_stack.pop()
+
+    # -- introspection -------------------------------------------------
+    def counters(self) -> list:
+        return [self._counters[k] for k in sorted(self._counters)]
+
+    def gauges(self) -> list:
+        return [self._gauges[k] for k in sorted(self._gauges)]
+
+    def histograms(self) -> list:
+        return [self._histograms[k] for k in sorted(self._histograms)]
+
+    def export(self) -> dict:
+        """Stable-schema dict; see :mod:`repro.observability.export`."""
+        from .export import registry_to_dict
+
+        return registry_to_dict(self)
+
+
+class _NullSpan:
+    """Reusable no-op context manager (also a valid, inert ``Span``)."""
+
+    name = ""
+    labels: dict = {}
+    start = 0.0
+    end = 0.0
+    children: list = []
+    duration = 0.0
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullRegistry(MetricsRegistry):
+    """No-op registry: every instrument call does nothing.
+
+    Module-level :data:`NULL_REGISTRY` is the default ``metrics``
+    argument of every instrumented function, making observability
+    zero-cost when nobody asked to observe.
+    """
+
+    enabled = False
+
+    def __init__(self):
+        super().__init__(clock=SpanClock(wall=lambda: 0.0))
+
+    def inc(self, name, value=1.0, /, **labels):
+        pass
+
+    def set_gauge(self, name, value, /, **labels):
+        pass
+
+    def observe(self, name, value, /, buckets=DEFAULT_BUCKETS, wall=False, **labels):
+        pass
+
+    def span(self, name, /, **labels):
+        return _NULL_SPAN
+
+
+#: Shared process-wide no-op registry.
+NULL_REGISTRY = NullRegistry()

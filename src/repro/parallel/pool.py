@@ -19,12 +19,14 @@ exception.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 
 from ..errors import WorkerPoolError
 from ..graph.csr import CSRGraph
+from ..observability.registry import NULL_REGISTRY
 from .partition import block_partition
 
 __all__ = ["parallel_betweenness_centrality"]
@@ -73,6 +75,7 @@ def parallel_betweenness_centrality(
     num_workers: int | None = None,
     chunks_per_worker: int = 4,
     _crash_chunks=(),
+    metrics=None,
 ) -> np.ndarray:
     """Exact BC computed across a process pool.
 
@@ -90,11 +93,18 @@ def parallel_betweenness_centrality(
         Fault-injection hook (resilience tests): chunk indices whose
         worker hard-exits mid-task.  The run still returns the exact
         result via the serial recovery path.
+    metrics:
+        Optional :class:`~repro.observability.MetricsRegistry`; records
+        chunk counts/latency (``pool.*`` series — chunk latencies are
+        wall-clock and export under the ``timing`` key) and serial
+        recoveries.  Defaults to the no-op registry.
 
     Returns the same values as
     :func:`repro.bc.betweenness_centrality`; the test suite asserts it,
     including under injected worker crashes.
     """
+    if metrics is None:
+        metrics = NULL_REGISTRY
     n = g.num_vertices
     if sources is None:
         roots = np.arange(n, dtype=np.int64)
@@ -109,44 +119,59 @@ def parallel_betweenness_centrality(
     if num_workers == 1 or roots.size <= 1:
         from ..bc.api import betweenness_centrality
 
-        return betweenness_centrality(g, sources=roots)
+        with metrics.span("pool.run", path="serial"):
+            return betweenness_centrality(g, sources=roots)
 
     num_chunks = min(roots.size, num_workers * chunks_per_worker)
     chunks = [c for c in block_partition(roots, num_chunks) if c.size]
     bc = np.zeros(n, dtype=np.float64)
     done = np.zeros(len(chunks), dtype=bool)
-    try:
-        with ProcessPoolExecutor(
-            max_workers=num_workers,
-            initializer=_init_worker,
-            initargs=(g.indptr, g.adj, g.undirected, tuple(_crash_chunks)),
-        ) as pool:
-            futures = [pool.submit(_worker_partial, (i, c))
-                       for i, c in enumerate(chunks)]
-            for i, fut in enumerate(futures):
-                try:
-                    bc += fut.result()  # the MPI_Reduce step
-                    done[i] = True
-                except Exception:
-                    # A crashed worker breaks the pool, so every not-yet
-                    # collected chunk lands here too; all of them are
-                    # recomputed serially below.
-                    pass
-    except Exception:
-        # Pool creation / task submission itself failed (e.g. spawn or
-        # pickling trouble): fall through with whatever completed.
-        pass
-
-    failed = [chunks[i] for i in np.flatnonzero(~done)]
-    if failed:
+    metrics.set_gauge("pool.workers", num_workers)
+    metrics.inc("pool.chunks", len(chunks))
+    with metrics.span("pool.run", path="pool"):
         try:
-            for chunk in failed:
-                bc += _chunk_partial(g, chunk)
-        except Exception as exc:
-            raise WorkerPoolError(
-                f"{len(failed)} worker chunk(s) crashed and serial "
-                f"recovery failed: {exc}"
-            ) from exc
+            with ProcessPoolExecutor(
+                max_workers=num_workers,
+                initializer=_init_worker,
+                initargs=(g.indptr, g.adj, g.undirected, tuple(_crash_chunks)),
+            ) as pool:
+                t_submit = time.perf_counter()
+                futures = [pool.submit(_worker_partial, (i, c))
+                           for i, c in enumerate(chunks)]
+                for i, fut in enumerate(futures):
+                    try:
+                        bc += fut.result()  # the MPI_Reduce step
+                        done[i] = True
+                        # Latency from submission to collection: the
+                        # makespan-style number the chunk-size tuning in
+                        # `chunks_per_worker` trades against.
+                        metrics.observe("pool.chunk_seconds",
+                                        time.perf_counter() - t_submit,
+                                        wall=True)
+                    except Exception:
+                        # A crashed worker breaks the pool, so every not-yet
+                        # collected chunk lands here too; all of them are
+                        # recomputed serially below.
+                        metrics.inc("pool.chunk_failures")
+        except Exception:
+            # Pool creation / task submission itself failed (e.g. spawn or
+            # pickling trouble): fall through with whatever completed.
+            metrics.inc("pool.pool_failures")
+
+        failed = [chunks[i] for i in np.flatnonzero(~done)]
+        if failed:
+            try:
+                for chunk in failed:
+                    t_retry = time.perf_counter()
+                    bc += _chunk_partial(g, chunk)
+                    metrics.inc("pool.chunks_recovered")
+                    metrics.observe("pool.recovery_seconds",
+                                    time.perf_counter() - t_retry, wall=True)
+            except Exception as exc:
+                raise WorkerPoolError(
+                    f"{len(failed)} worker chunk(s) crashed and serial "
+                    f"recovery failed: {exc}"
+                ) from exc
     if g.undirected:
         bc /= 2.0
     return bc

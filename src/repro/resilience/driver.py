@@ -32,7 +32,6 @@ serial :func:`repro.bc.betweenness_centrality`.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -48,6 +47,8 @@ from ..errors import (
 )
 from ..graph.csr import CSRGraph
 from ..gpusim.device import Device
+from ..observability.clock import SpanClock
+from ..observability.registry import NULL_REGISTRY
 from .faults import ActiveFaults, FaultPlan, FaultyComm, OOM, FAIL_STOP
 
 __all__ = [
@@ -122,9 +123,24 @@ class ResilientRun:
     incidents: list = field(default_factory=list)
     backoff_seconds: float = 0.0
     compute_seconds: float = 0.0
+    #: Attribution overlay: simulated seconds spent on *recovery work*
+    #: (recomputing orphaned units + backoff pauses).  Every second here
+    #: is already counted once in ``compute_seconds`` or
+    #: ``backoff_seconds`` — do NOT add it to them (doing exactly that
+    #: was the old double-charge bug).
     recovery_seconds: float = 0.0
     comm_seconds: float = 0.0
     elapsed_seconds: float = 0.0
+    #: Simulated seconds charged for the degraded sampling estimate.
+    degrade_seconds: float = 0.0
+    #: Real wall seconds of the run (``elapsed_seconds`` minus charges).
+    wall_seconds: float = 0.0
+    #: Total charged simulated seconds; invariant:
+    #: ``sim_seconds == compute_seconds + backoff_seconds + degrade_seconds``
+    #: and ``elapsed_seconds == wall_seconds + sim_seconds`` — both the
+    #: budget check and this report read the same
+    #: :class:`~repro.observability.SpanClock`.
+    sim_seconds: float = 0.0
     degrade_samples_used: int = 0
 
     @property
@@ -149,9 +165,10 @@ class ResilientRun:
             )
         lines.append(
             f"charged seconds  : compute={self.compute_seconds:.4f} "
-            f"recovery={self.recovery_seconds:.4f} "
             f"backoff={self.backoff_seconds:.4f} "
-            f"comm={self.comm_seconds:.6f}"
+            f"degrade={self.degrade_seconds:.4f} "
+            f"comm={self.comm_seconds:.6f} "
+            f"(of which recovery={self.recovery_seconds:.4f})"
         )
         lines.append(f"result           : {'EXACT' if self.exact else 'DEGRADED'}")
         return "\n".join(lines)
@@ -202,6 +219,8 @@ def resilient_distributed_bc(
     degrade_samples: int = 8,
     degrade: bool = True,
     seed: int = 0,
+    metrics=None,
+    clock: SpanClock | None = None,
 ) -> ResilientRun:
     """Exact distributed BC that survives injected rank failures.
 
@@ -232,6 +251,18 @@ def resilient_distributed_bc(
         instead of degrading (strict mode).
     seed:
         Seed for the degradation sampler.
+    metrics:
+        Optional :class:`~repro.observability.MetricsRegistry`; records
+        ``resilience.*`` counters (incidents by kind/where, retries,
+        recomputed/degraded roots) and per-rank compute spans (the
+        per-rank timeline).  Defaults to the no-op registry.
+    clock:
+        The :class:`~repro.observability.SpanClock` both the wall-clock
+        budget check and the final ``elapsed_seconds`` report read.
+        Defaults to ``metrics.clock`` when a registry is given, else a
+        fresh clock.  Simulated charges (compute makespan, backoff,
+        degrade sampling) are advanced on it exactly once each, so the
+        two paths cannot disagree.
 
     Returns a :class:`ResilientRun`; ``run.values`` equals the serial
     :func:`repro.bc.betweenness_centrality` whenever ``run.exact``.
@@ -243,9 +274,14 @@ def resilient_distributed_bc(
     if backoff_base < 0:
         raise ClusterConfigurationError("backoff_base must be >= 0")
 
+    if metrics is None:
+        metrics = NULL_REGISTRY
+    if clock is None:
+        clock = metrics.clock if metrics.enabled else SpanClock()
+
     faults: ActiveFaults | None = fault_plan.start() if fault_plan else None
     if comm is None:
-        comm = FaultyComm(num_ranks, faults=faults)
+        comm = FaultyComm(num_ranks, faults=faults, metrics=metrics)
     elif comm.size != num_ranks:
         raise ClusterConfigurationError("communicator size mismatch")
 
@@ -253,17 +289,23 @@ def resilient_distributed_bc(
     half = 2.0 if g.undirected else 1.0
     store = CheckpointStore(num_ranks, n)
     incidents: list = []
-    t0 = time.monotonic()
-    sim_clock = 0.0
-    backoff_s = 0.0
-    compute_s = 0.0
+    wall0 = clock.wall_seconds()
+    sim0 = clock.sim_seconds
+    comp0 = {c: clock.component_seconds(c)
+             for c in ("compute", "backoff", "degrade")}
     recovery_s = 0.0
     recomputed_roots = 0
 
+    def record_incident(inc: RankIncident) -> None:
+        incidents.append(inc)
+        metrics.inc("resilience.incidents", kind=inc.kind, where=inc.where)
+
     def over_budget() -> bool:
+        # Same clock, same expression as the final elapsed_seconds
+        # report — the two can never drift apart.
         if wall_clock_budget is None:
             return False
-        return (time.monotonic() - t0) + sim_clock >= wall_clock_budget
+        return (clock.elapsed() - wall0 - sim0) >= wall_clock_budget
 
     # ------------------------------------------------------------------
     # Graph replication (MPI_Bcast).  A rank that dies here never
@@ -275,9 +317,9 @@ def resilient_distributed_bc(
             comm.bcast(("graph", g.num_vertices, g.num_edges), root=0)
             break
         except RankFailure as f:
-            incidents.append(RankIncident(f.rank, FAIL_STOP, f.where, 0,
-                                          int(pending.get(f.rank,
-                                                          np.empty(0)).size)))
+            record_incident(RankIncident(f.rank, FAIL_STOP, f.where, 0,
+                                         int(pending.get(f.rank,
+                                                         np.empty(0)).size)))
             comm.mark_dead(f.rank)
 
     # Roots assigned to ranks that died before compute are orphans from
@@ -311,8 +353,8 @@ def resilient_distributed_bc(
             if faults and faults.oom_fires(rank):
                 # Transient: the rank survives and its unit is retried
                 # in the next round (after backoff).
-                incidents.append(RankIncident(rank, OOM, "compute", attempt,
-                                              int(roots.size)))
+                record_incident(RankIncident(rank, OOM, "compute", attempt,
+                                             int(roots.size)))
                 round_orphans.append(roots)
                 continue
             crash = faults.compute_crash(rank) if faults else None
@@ -321,26 +363,32 @@ def resilient_distributed_bc(
                 # unit checkpoint was never written, so all of its
                 # roots are orphaned.
                 done = min(crash.after_roots, int(roots.size))
-                incidents.append(RankIncident(rank, FAIL_STOP, "compute",
-                                              attempt, int(roots.size)))
+                record_incident(RankIncident(rank, FAIL_STOP, "compute",
+                                             attempt, int(roots.size)))
                 comm.mark_dead(rank)
                 round_costs.append(per_root_seconds * done * factor)
                 round_orphans.append(roots)
                 continue
-            partial = np.zeros(n, dtype=np.float64)
-            for s in roots:
-                partial += bc_single_source_dependencies(g, int(s))
+            # Per-rank timeline entry: the span's wall duration is the
+            # real recompute time; its simulated cost is recorded as a
+            # labelled counter (the round charges only the makespan).
+            with metrics.span("resilience.rank_compute", rank=rank,
+                              attempt=attempt):
+                partial = np.zeros(n, dtype=np.float64)
+                for s in roots:
+                    partial += bc_single_source_dependencies(g, int(s))
             partial /= half
             store.commit(rank, roots, partial)
             cost = per_root_seconds * roots.size * factor
             round_costs.append(cost)
+            metrics.inc("resilience.rank_seconds", cost, rank=rank)
+            metrics.inc("resilience.rank_roots", roots.size, rank=rank)
             if attempt > 0:
                 recomputed_roots += int(roots.size)
                 recovery_s += cost
-        # Ranks compute concurrently: the round costs its makespan.
-        round_span = max(round_costs)
-        sim_clock += round_span
-        compute_s += round_span
+        # Ranks compute concurrently: the round costs its makespan —
+        # charged exactly once, on the shared clock.
+        clock.advance(max(round_costs), "compute")
 
         orphans = (np.concatenate(round_orphans) if round_orphans
                    else np.empty(0, dtype=np.int64))
@@ -351,10 +399,10 @@ def resilient_distributed_bc(
             exhausted = True
             break
         attempt += 1
+        metrics.inc("resilience.retries")
         pause = backoff_base * (2 ** (attempt - 1))
-        backoff_s += pause
         recovery_s += pause
-        sim_clock += pause
+        clock.advance(pause, "backoff")
         pending = _redistribute(orphans, survivors)
 
     # ------------------------------------------------------------------
@@ -366,8 +414,8 @@ def resilient_distributed_bc(
             total = comm.reduce(store.per_rank_values(), root=0)
             break
         except RankFailure as f:
-            incidents.append(RankIncident(f.rank, FAIL_STOP, f.where,
-                                          attempt, 0))
+            record_incident(RankIncident(f.rank, FAIL_STOP, f.where,
+                                         attempt, 0))
             comm.mark_dead(f.rank)
 
     # ------------------------------------------------------------------
@@ -381,14 +429,23 @@ def resilient_distributed_bc(
         k = max(1, min(int(degrade_samples), degraded_roots))
         rng = np.random.default_rng(seed)
         sample = rng.choice(orphans, size=k, replace=False)
-        est = np.zeros(n, dtype=np.float64)
-        for s in sample:
-            est += bc_single_source_dependencies(g, int(s))
+        with metrics.span("resilience.degrade", samples=k):
+            est = np.zeros(n, dtype=np.float64)
+            for s in sample:
+                est += bc_single_source_dependencies(g, int(s))
         est /= half
         total = total + est * (degraded_roots / k)
         samples_used = k
-        sim_clock += per_root_seconds * k
+        clock.advance(per_root_seconds * k, "degrade")
+        metrics.inc("resilience.degraded_roots", degraded_roots)
 
+    metrics.inc("resilience.runs")
+    metrics.inc("resilience.recomputed_roots", recomputed_roots)
+    compute_s = clock.component_seconds("compute") - comp0["compute"]
+    backoff_s = clock.component_seconds("backoff") - comp0["backoff"]
+    degrade_s = clock.component_seconds("degrade") - comp0["degrade"]
+    sim_s = clock.sim_seconds - sim0
+    wall_s = clock.wall_seconds() - wall0
     return ResilientRun(
         values=total,
         exact=degraded_roots == 0,
@@ -404,6 +461,9 @@ def resilient_distributed_bc(
         compute_seconds=compute_s,
         recovery_seconds=recovery_s,
         comm_seconds=comm.elapsed_comm_seconds,
-        elapsed_seconds=(time.monotonic() - t0) + sim_clock,
+        elapsed_seconds=wall_s + sim_s,
+        degrade_seconds=degrade_s,
+        wall_seconds=wall_s,
+        sim_seconds=sim_s,
         degrade_samples_used=samples_used,
     )

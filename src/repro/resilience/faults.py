@@ -306,8 +306,8 @@ class FaultyComm(SimComm):
     """
 
     def __init__(self, size: int, faults: ActiveFaults | None = None,
-                 link=None):
-        super().__init__(size, link=link)
+                 link=None, metrics=None):
+        super().__init__(size, link=link, metrics=metrics)
         self.faults = faults
         self.live = set(range(self.size))
 

@@ -11,10 +11,8 @@ from tests.conftest import random_graph
 
 
 class TestBetweennessCentrality:
-    def test_matches_reference(self, fig1, cycle6, two_components):
-        for g in (fig1, cycle6, two_components):
-            assert np.allclose(betweenness_centrality(g), brandes_reference(g))
-
+    # Engine-vs-Brandes value equivalence across the full graph suite
+    # lives in tests/bc/test_differential.py.
     def test_matches_networkx_random(self):
         import networkx as nx
 

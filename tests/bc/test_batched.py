@@ -5,9 +5,7 @@ import pytest
 
 from repro.bc.api import betweenness_centrality
 from repro.bc.batched import batched_betweenness_centrality, batched_dependencies
-from repro.bc.brandes import brandes_reference
 from repro.graph.build import from_edges
-from tests.conftest import random_graph
 
 
 class TestBatchedDependencies:
@@ -37,23 +35,9 @@ class TestBatchedBC:
         got = batched_betweenness_centrality(fig1, batch_size=batch_size)
         assert np.allclose(got, betweenness_centrality(fig1))
 
-    def test_matches_on_structures(self, cycle6, star, two_components,
-                                   small_sw, small_kron):
-        for g in (cycle6, star, two_components, small_sw, small_kron):
-            got = batched_betweenness_centrality(g, batch_size=32)
-            assert np.allclose(got, betweenness_centrality(g)), g.name
-
-    def test_random_graphs(self):
-        for seed in range(3):
-            g = random_graph(24, 0.15, seed)
-            got = batched_betweenness_centrality(g)
-            assert np.allclose(got, brandes_reference(g))
-
-    def test_directed(self):
-        g = from_edges([(0, 1), (1, 2), (2, 0), (1, 3)], undirected=False)
-        got = batched_betweenness_centrality(g)
-        assert np.allclose(got, brandes_reference(g))
-
+    # Batched-vs-Brandes value equivalence across graph structures
+    # (incl. disconnected and directed) lives in
+    # tests/bc/test_differential.py.
     def test_sources_subset(self, fig1):
         got = batched_betweenness_centrality(fig1, sources=[0, 4, 8])
         assert np.allclose(got, betweenness_centrality(fig1,

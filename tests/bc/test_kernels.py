@@ -31,10 +31,6 @@ class TestWorkEfficientKernel:
         finite = st.d[st.d < np.iinfo(np.int64).max]
         assert st.max_depth == finite.max()
 
-    def test_matches_reference(self, fig1):
-        ref = brandes_reference(fig1)
-        assert np.allclose(bc_work_efficient(fig1), ref)
-
     def test_sigma_matches_reference(self, fig1):
         from repro.bc.brandes import brandes_single_source
 
@@ -54,9 +50,6 @@ class TestWorkEfficientKernel:
 
 
 class TestEdgeParallelKernel:
-    def test_matches_reference(self, fig1):
-        assert np.allclose(bc_edge_parallel(fig1), brandes_reference(fig1))
-
     def test_iteration_count_is_depth_plus_one(self, path5):
         *_, iters = edge_parallel_root(path5, 0)
         # Each iteration sweeps all edges once per depth level.
@@ -69,9 +62,6 @@ class TestEdgeParallelKernel:
 
 
 class TestVertexParallelKernel:
-    def test_matches_reference(self, fig1):
-        assert np.allclose(bc_vertex_parallel(fig1), brandes_reference(fig1))
-
     def test_distances(self, star):
         d, _, _, iters = vertex_parallel_root(star, 2)
         assert d.tolist() == [1, 2, 0, 2, 2, 2, 2]
@@ -79,19 +69,9 @@ class TestVertexParallelKernel:
 
 
 class TestKernelEquivalence:
-    @pytest.mark.parametrize("seed", range(3))
-    def test_all_kernels_agree_random(self, seed):
-        g = random_graph(20, 0.2, seed)
-        results = [fn(g) for fn in ALL_BC]
-        ref = brandes_reference(g)
-        for r in results:
-            assert np.allclose(r, ref)
-
-    def test_all_kernels_agree_disconnected(self, two_components):
-        ref = brandes_reference(two_components)
-        for fn in ALL_BC:
-            assert np.allclose(fn(two_components), ref)
-
+    # Full-graph value equivalence across all kernels, strategies and
+    # structural classes lives in tests/bc/test_differential.py; only
+    # behaviour the matrix cannot express (source subsets) stays here.
     def test_subset_sources(self, fig1):
         ref = brandes_reference(fig1, sources=[0, 3, 5])
         for fn in ALL_BC:

@@ -1,0 +1,97 @@
+"""Property-based invariants of the observability layer.
+
+Random graphs in, structural guarantees out: frontier sizes partition
+the reached vertex set, ``ends`` offsets are strictly increasing over
+non-empty levels, every exported counter/cycle value is non-negative
+and finite, and span trees nest without overlap.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bc.frontier import forward_sweep
+from repro.graph.build import from_edges
+from repro.gpusim import Device
+from repro.observability import MetricsRegistry, SpanClock, registry_to_dict
+
+
+@st.composite
+def graphs(draw, max_n=16, max_m=40):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    m = draw(st.integers(min_value=0, max_value=max_m))
+    edges = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            min_size=m, max_size=m,
+        )
+    )
+    return from_edges(edges, num_vertices=n)
+
+
+@given(graphs())
+@settings(max_examples=40, deadline=None)
+def test_frontier_sizes_sum_to_reached_vertices(g):
+    metrics = MetricsRegistry()
+    res = forward_sweep(g, 0, metrics=metrics)
+    reached = int(np.sum(res.distances >= 0))
+    assert sum(lv.size for lv in res.levels) == reached
+    # The counters tell the same story as the returned levels.
+    assert metrics.counter("frontier.discovered").value == reached - 1
+    assert metrics.counter("frontier.frontier_vertices").value == reached
+
+
+@given(graphs())
+@settings(max_examples=40, deadline=None)
+def test_ends_offsets_strictly_increasing(g):
+    res = forward_sweep(g, 0)
+    ends = res.ends()
+    assert ends[0] == 0
+    assert ends[-1] == res.s_array().size
+    # Levels are non-empty by construction => strict monotonicity.
+    assert np.all(np.diff(ends) > 0)
+
+
+@given(graphs(max_n=12, max_m=24), st.sampled_from(["hybrid", "sampling"]))
+@settings(max_examples=20, deadline=None)
+def test_exported_metrics_nonnegative_finite(g, strategy):
+    metrics = MetricsRegistry(clock=SpanClock(wall=lambda: 0.0))
+    run = Device().run_bc(g, strategy=strategy, check_memory=False,
+                          metrics=metrics)
+    assert run.cycles >= 0 and math.isfinite(run.cycles)
+    for rt in run.trace.roots:
+        assert rt.cycles >= 0
+        for lv in rt.levels:
+            assert lv.cycles >= 0 and math.isfinite(lv.cycles)
+            assert lv.frontier_size >= 0 and lv.edge_frontier >= 0
+    doc = registry_to_dict(metrics)
+    for inst in doc["counters"] + doc["gauges"]:
+        assert math.isfinite(inst["value"])
+        assert inst["value"] >= 0
+    for h in doc["histograms"]:
+        assert all(c >= 0 for c in h["counts"])
+        assert math.isfinite(h["sum"])
+
+
+def _check_span(span, parent_start, parent_end):
+    assert span.end is not None
+    assert span.start <= span.end
+    assert parent_start <= span.start and span.end <= parent_end
+    # Children are appended in open order; siblings must not overlap.
+    for a, b in zip(span.children, span.children[1:]):
+        assert a.end <= b.start
+    for child in span.children:
+        _check_span(child, span.start, span.end)
+
+
+@given(graphs(max_n=10, max_m=20))
+@settings(max_examples=20, deadline=None)
+def test_span_trees_nest_without_overlap(g):
+    metrics = MetricsRegistry()
+    with metrics.span("outer"):
+        Device().run_bc(g, strategy="hybrid", check_memory=False,
+                        metrics=metrics)
+    assert len(metrics.root_spans) == 1
+    _check_span(metrics.root_spans[0], -math.inf, math.inf)

@@ -208,6 +208,80 @@ class TestReportAndCosting:
         assert s > 0
 
 
+class TestUnifiedClock:
+    """Regression: the budget check and the report read one SpanClock.
+
+    The old driver kept a bespoke ``sim_clock`` and a separately summed
+    ``recovery_seconds``; recomputed work and backoff pauses were
+    charged into both, so the summary's components exceeded the elapsed
+    time the budget check saw.  These invariants pin the fix.
+    """
+
+    def test_components_sum_to_sim_and_elapsed(self, small_sw):
+        plan = FaultPlan.fail_stop(0, where="compute", after_roots=1)
+        run = resilient_distributed_bc(small_sw, 3, fault_plan=plan,
+                                       per_root_seconds=1e-3)
+        assert run.sim_seconds == pytest.approx(
+            run.compute_seconds + run.backoff_seconds + run.degrade_seconds)
+        assert run.elapsed_seconds == pytest.approx(
+            run.wall_seconds + run.sim_seconds)
+        # recovery is an attribution overlay, never an extra charge.
+        assert run.recovery_seconds <= run.sim_seconds + 1e-12
+
+    def test_degrade_charged_as_its_own_component(self, small_sw):
+        plan = FaultPlan.transient_oom(0, times=10)
+        run = resilient_distributed_bc(small_sw, 1, fault_plan=plan,
+                                       max_retries=1, per_root_seconds=1e-3)
+        assert run.degraded
+        assert run.degrade_seconds > 0
+        assert run.sim_seconds == pytest.approx(
+            run.compute_seconds + run.backoff_seconds + run.degrade_seconds)
+
+    def test_budget_and_report_share_the_clock(self, fig1):
+        from repro.observability import SpanClock
+
+        clock = SpanClock(wall=lambda: 0.0)  # no real wall time passes
+        run = resilient_distributed_bc(fig1, 2, per_root_seconds=1e-3,
+                                       clock=clock)
+        # With a frozen wall, elapsed is exactly the charged sim time,
+        # and the report equals what the clock accumulated.
+        assert run.wall_seconds == 0.0
+        assert run.elapsed_seconds == pytest.approx(run.sim_seconds)
+        assert run.sim_seconds == pytest.approx(clock.sim_seconds)
+        assert clock.component_seconds("compute") == pytest.approx(
+            run.compute_seconds)
+
+    def test_budget_measured_against_charges(self, fig1):
+        # Simulated charges alone must exhaust the budget: round 1's
+        # charged compute exceeds it, so the recovery round after the
+        # fault is abandoned even though almost no real time passes —
+        # the budget check reads the same combined clock as the report.
+        plan = FaultPlan.transient_oom(0, times=1)
+        full = resilient_distributed_bc(fig1, 2, fault_plan=plan,
+                                        per_root_seconds=1e-2)
+        assert full.exact  # recovery fits when unconstrained
+        run = resilient_distributed_bc(fig1, 2, fault_plan=plan,
+                                       per_root_seconds=1e-2,
+                                       wall_clock_budget=1e-2)
+        assert run.degraded
+        assert run.degraded_roots > 0
+
+    def test_metrics_registry_records_incidents(self, fig1):
+        from repro.observability import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        plan = FaultPlan.transient_oom(0, times=2)
+        run = resilient_distributed_bc(fig1, 2, fault_plan=plan,
+                                       metrics=metrics)
+        assert run.exact
+        assert metrics.counter("resilience.incidents", kind="oom",
+                               where="compute").value == 2
+        assert metrics.counter("resilience.retries").value == run.retries
+        comm_ops = {c.labels["op"] for c in metrics.counters()
+                    if c.name == "comm.calls"}
+        assert "bcast" in comm_ops and "reduce" in comm_ops
+
+
 class TestCheckpointStore:
     def test_accumulates_and_pads(self):
         store = CheckpointStore(3, 4)
