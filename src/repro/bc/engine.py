@@ -45,6 +45,7 @@ def run_root(
     chunk: int,
     device_chunk: int | None = None,
     metrics=None,
+    observer=None,
 ) -> RootTrace:
     """Process one BC root under ``policy``, charging ``costs``.
 
@@ -64,6 +65,13 @@ def run_root(
         per-level ``engine.*`` counters (frontier/edge counts, cycles,
         strategy chosen per level).  Defaults to the no-op registry, so
         uninstrumented runs pay nothing.
+    observer:
+        Optional hook with ``after_forward(fwd)`` and
+        ``after_accumulation(fwd, delta)`` methods, called after the
+        forward sweep and after dependency accumulation (before the
+        dependencies are folded into ``bc``).  Used by the SDC
+        verification layer to inject faults into, and run ABFT checks
+        over, this root's intermediate state.
     """
     if metrics is None:
         metrics = NULL_REGISTRY
@@ -123,6 +131,8 @@ def run_root(
         )
 
     fwd = forward_sweep(g, source, on_level=on_forward_level)
+    if observer is not None:
+        observer.after_forward(fwd)
 
     # Stage 2 — dependency accumulation, deepest-but-one level first,
     # each level charged under the strategy that produced it.
@@ -145,6 +155,8 @@ def run_root(
         metrics.inc("engine.frontier_vertices", level.size, stage="backward")
         metrics.inc("engine.frontier_edges", ef, stage="backward")
         metrics.inc("engine.cycles", cycles, stage="backward", strategy=strategy)
+    if observer is not None:
+        observer.after_accumulation(fwd, delta)
     bc += delta
     metrics.inc("engine.roots")
     metrics.observe("engine.root_cycles", trace.cycles)

@@ -24,8 +24,18 @@ registry export::
     python -m repro profile --graph kron_g500-logn20 --scale-factor 4096 \
         --strategy sampling --roots 16 --out profile.json
 
+``verify`` injects silent bit-flips (the ``sdc`` fault kind) and shows
+the ABFT verification layer detecting and repairing them::
+
+    python -m repro verify --faults "sdc:0@delta;sdc:1@sigma+1" \
+        --verify paranoid --ranks 4
+
+``--verify off|sampled|paranoid`` also applies to ``resilience`` runs.
+
 Every command also accepts ``--metrics-out metrics.json`` to export the
-run's metrics registry (``repro.observability/v1``).
+run's metrics registry (``repro.observability/v1``).  Output paths get
+their parent directories created on demand; unwritable paths fail with
+a one-line error instead of a traceback.
 """
 
 from __future__ import annotations
@@ -46,10 +56,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "resilience", "profile"],
+        choices=sorted(EXPERIMENTS) + ["all", "resilience", "profile",
+                                       "verify"],
         help="which table/figure to regenerate ('all' for every paper "
              "artifact, 'resilience' for a fault-injected distributed run, "
-             "'profile' for an instrumented device run exported as JSON)",
+             "'profile' for an instrumented device run exported as JSON, "
+             "'verify' for a silent-corruption detection/repair demo)",
     )
     parser.add_argument(
         "--metrics-out", default=None, metavar="PATH",
@@ -65,9 +77,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="scale sweep for figure5/figure6/table4")
     faults = parser.add_argument_group("resilience options")
     faults.add_argument(
-        "--faults", default="fail:1@compute+1",
-        help="fault plan, e.g. 'fail:1@reduce;oom:0x2;straggler:2x3' "
-             "(default: kill rank 1 mid-compute)",
+        "--faults", default=None,
+        help="fault plan, e.g. 'fail:1@reduce;oom:0x2;straggler:2x3;"
+             "sdc:0@delta+1#55' (defaults: kill rank 1 mid-compute for "
+             "'resilience', bit-flip two ranks for 'verify')",
     )
     faults.add_argument("--ranks", type=int, default=4,
                         help="simulated ranks for the resilient run (default 4)")
@@ -75,6 +88,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="recovery rounds before degrading (default 3)")
     faults.add_argument("--budget", type=float, default=None,
                         help="wall-clock budget in seconds (default: none)")
+    faults.add_argument(
+        "--verify", choices=["off", "sampled", "paranoid"], default=None,
+        help="ABFT verification mode for resilience/verify runs "
+             "(default: off for 'resilience', paranoid for 'verify')",
+    )
     prof = parser.add_argument_group("profile options")
     prof.add_argument(
         "--graph", default="kron_g500-logn20",
@@ -86,10 +104,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="device strategy to profile (default sampling)",
     )
     prof.add_argument(
-        "--out", default="profile.json", metavar="PATH",
-        help="where the profile JSON is written (default profile.json)",
+        "--out", default=None, metavar="PATH",
+        help="where the profile (default profile.json) or verify report "
+             "(default: not written) JSON goes; parent directories are "
+             "created",
     )
     return parser
+
+
+class _OutputError(Exception):
+    """A report/metrics file could not be written; main() turns this
+    into a one-line stderr message and a nonzero exit."""
+
+
+def _write_report(path, payload_or_registry) -> None:
+    from .observability import write_json
+
+    try:
+        write_json(path, payload_or_registry)
+    except OSError as exc:
+        raise _OutputError(
+            f"error: cannot write {path}: {exc.strerror or exc}"
+        ) from exc
 
 
 def _render_profile(args, metrics) -> str:
@@ -98,8 +134,9 @@ def _render_profile(args, metrics) -> str:
 
     from .graph.generators import make_dataset
     from .gpusim import Device
-    from .observability import registry_to_dict, run_profile, write_json
+    from .observability import registry_to_dict, run_profile
 
+    out = args.out or "profile.json"
     g = make_dataset(args.graph, scale_factor=args.scale_factor,
                      seed=args.seed)
     rng = np.random.default_rng(args.seed)
@@ -115,9 +152,9 @@ def _render_profile(args, metrics) -> str:
     # seeded runs serialise byte-identically outside it.
     doc["metrics"] = {k: reg[k] for k in ("counters", "gauges", "histograms")}
     doc["timing"] = reg["timing"]
-    write_json(args.out, doc)
+    _write_report(out, doc)
     lines = [
-        f"profile          : {args.out}",
+        f"profile          : {out}",
         f"graph            : {g.name or args.graph} "
         f"(n={g.num_vertices}, m={g.num_edges})",
         f"strategy         : {run.strategy} ({run.num_roots} roots)",
@@ -140,10 +177,12 @@ def _render_resilience(args, metrics=None) -> str:
 
     n = max(16, 12288 // max(1, args.scale_factor))
     g = watts_strogatz(n, k=6, p=0.1, seed=args.seed)
-    plan = FaultPlan.parse(args.faults)
+    spec = args.faults if args.faults is not None else "fail:1@compute+1"
+    plan = FaultPlan.parse(spec)
     run = resilient_distributed_bc(
         g, args.ranks, fault_plan=plan, max_retries=args.max_retries,
         wall_clock_budget=args.budget, seed=args.seed, metrics=metrics,
+        verify=args.verify or "off",
     )
     ref = betweenness_centrality(g)
     err = float(np.max(np.abs(run.values - ref)))
@@ -151,11 +190,70 @@ def _render_resilience(args, metrics=None) -> str:
         "Resilient distributed BC (fault-injected Section V-D program)",
         f"graph            : {g.name or 'watts-strogatz'} "
         f"(n={g.num_vertices}, m={g.num_edges})",
-        f"fault plan       : {args.faults}",
+        f"fault plan       : {spec}",
         run.summary(),
         f"max |err| vs serial: {err:.3e}"
         + ("" if run.exact else " (degraded roots are sampled estimates)"),
     ]
+    return "\n".join(lines)
+
+
+def _render_verify(args, metrics=None) -> str:
+    """Inject silent bit-flips and report the verification layer's
+    detect/quarantine/repair outcome against the serial ground truth."""
+    import numpy as np
+
+    from .bc.api import betweenness_centrality
+    from .graph.generators import watts_strogatz
+    from .resilience import FaultPlan, resilient_distributed_bc
+
+    n = max(16, 12288 // max(1, args.scale_factor))
+    g = watts_strogatz(n, k=6, p=0.1, seed=args.seed)
+    spec = (args.faults if args.faults is not None
+            else "sdc:0@delta;sdc:1@sigma+1")
+    plan = FaultPlan.parse(spec)
+    mode = args.verify or "paranoid"
+    run = resilient_distributed_bc(
+        g, args.ranks, fault_plan=plan, max_retries=args.max_retries,
+        wall_clock_budget=args.budget, seed=args.seed, metrics=metrics,
+        verify=mode,
+    )
+    ref = betweenness_centrality(g)
+    err = float(np.max(np.abs(run.values - ref)))
+    if run.exact and np.allclose(run.values, ref):
+        verdict = "corruption detected and repaired; values match serial BC"
+    elif run.exact:
+        verdict = "UNDETECTED CORRUPTION: values differ from serial BC"
+    else:
+        verdict = ("corruption surfaced; result degraded "
+                   "(sampled estimate, not silently wrong)")
+    if args.out:
+        _write_report(args.out, {
+            "schema": "repro.verify/v1",
+            "graph": {"name": g.name or "watts-strogatz",
+                      "num_vertices": g.num_vertices,
+                      "num_edges": g.num_edges},
+            "fault_plan": spec,
+            "verification": run.verification,
+            "exact": run.exact,
+            "corruption_detected": run.corruption_detected,
+            "roots_requarantined": run.roots_requarantined,
+            "reduce_retries": run.reduce_retries,
+            "corrupted_reduce": run.corrupted_reduce,
+            "degraded_roots": run.degraded_roots,
+            "max_abs_err_vs_serial": err,
+        })
+    lines = [
+        "Silent-data-corruption verification (ABFT detect + self-heal)",
+        f"graph            : {g.name or 'watts-strogatz'} "
+        f"(n={g.num_vertices}, m={g.num_edges})",
+        f"fault plan       : {spec}",
+        run.summary(),
+        f"max |err| vs serial: {err:.3e}",
+        f"verdict          : {verdict}",
+    ]
+    if args.out:
+        lines.append(f"report           : {args.out}")
     return "\n".join(lines)
 
 
@@ -173,32 +271,38 @@ def _render(name: str, cfg: ExperimentConfig, scales) -> str:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    from .observability import MetricsRegistry, write_json
+    from .observability import MetricsRegistry
 
     metrics = MetricsRegistry()
     try:
-        if args.experiment == "profile":
-            print(_render_profile(args, metrics))
-            print()
-            return 0
-        if args.experiment == "resilience":
-            print(_render_resilience(args, metrics=metrics))
-            print()
-            return 0
-        cfg = ExperimentConfig(scale_factor=args.scale_factor,
-                               root_sample=args.roots, seed=args.seed)
-        names = (sorted(EXPERIMENTS) if args.experiment == "all"
-                 else [args.experiment])
-        for name in names:
-            with metrics.span("experiment", name=name):
-                out = _render(name, cfg, args.scales)
-            metrics.inc("cli.experiments_rendered", name=name)
-            print(out)
-            print()
-        return 0
-    finally:
-        if args.metrics_out:
-            write_json(args.metrics_out, metrics)
+        try:
+            if args.experiment == "profile":
+                print(_render_profile(args, metrics))
+                print()
+            elif args.experiment == "resilience":
+                print(_render_resilience(args, metrics=metrics))
+                print()
+            elif args.experiment == "verify":
+                print(_render_verify(args, metrics=metrics))
+                print()
+            else:
+                cfg = ExperimentConfig(scale_factor=args.scale_factor,
+                                       root_sample=args.roots, seed=args.seed)
+                names = (sorted(EXPERIMENTS) if args.experiment == "all"
+                         else [args.experiment])
+                for name in names:
+                    with metrics.span("experiment", name=name):
+                        out = _render(name, cfg, args.scales)
+                    metrics.inc("cli.experiments_rendered", name=name)
+                    print(out)
+                    print()
+        finally:
+            if args.metrics_out:
+                _write_report(args.metrics_out, metrics)
+    except _OutputError as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -18,6 +18,7 @@ __all__ = [
     "FaultSpecError",
     "RankFailure",
     "RetryExhaustedError",
+    "SilentCorruptionError",
     "WorkerPoolError",
 ]
 
@@ -106,6 +107,31 @@ class RetryExhaustedError(ReproError):
         super().__init__(
             f"{self.pending_roots} roots still pending after "
             f"{self.retries} retries"
+        )
+
+
+class SilentCorruptionError(ReproError):
+    """An ABFT invariant check caught silently corrupted data.
+
+    Raised by the verification layer (:mod:`repro.verify`) when a BC
+    run's intermediate state (``dist``/``sigma``/``delta``/partial BC)
+    violates an algorithmic invariant and no recovery path is
+    available.  The resilient driver never lets this escape — it
+    quarantines and recomputes the corrupted roots instead — but the
+    bare device path raises it so a poisoned result cannot be returned
+    as if it were healthy.
+    """
+
+    def __init__(self, violations, root: int | None = None):
+        self.violations = list(violations)
+        self.root = root
+        head = "; ".join(str(v) for v in self.violations[:3])
+        more = len(self.violations) - 3
+        super().__init__(
+            f"{len(self.violations)} invariant violation(s)"
+            + (f" at root {root}" if root is not None else "")
+            + (f": {head}" if head else "")
+            + (f" (+{more} more)" if more > 0 else "")
         )
 
 

@@ -22,6 +22,7 @@ paper reports it failing (Figure 5).
 from __future__ import annotations
 
 import heapq
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -41,9 +42,10 @@ from ..bc.sampling import (
     DEFAULT_N_SAMPS,
     choose_edge_parallel,
 )
-from ..errors import GraphFormatError, StrategyError
+from ..errors import GraphFormatError, SilentCorruptionError, StrategyError
 from ..graph.csr import CSRGraph
 from ..observability.registry import NULL_REGISTRY
+from ..verify import RootChecker, VerificationPolicy
 from .cost import DEFAULT_COSTS, CostModel
 from .memory import DeviceMemoryModel, strategy_footprint
 from .spec import GTX_TITAN, GPUSpec
@@ -147,6 +149,78 @@ def _run_root(*args, **kwargs):
     return run_root(*args, **kwargs)
 
 
+class _RunObserver:
+    """Threads SDC injection and ABFT verification through one run.
+
+    Implements the engine's observer protocol (``after_forward`` /
+    ``after_accumulation``): immediately after the forward sweep it
+    fires any planned ``sigma``/``dist`` bit-flips for the current root
+    position, after accumulation any ``delta`` flips — corruption
+    strikes the *intermediate* arrays, exactly where a resident-memory
+    upset would — then runs the policy's per-root invariant suite.  On
+    the bare device path a violation raises
+    :class:`~repro.errors.SilentCorruptionError`; there is no recovery
+    story below the resilient driver, so a poisoned result must not be
+    returned as healthy.
+    """
+
+    def __init__(self, device: "Device", g: CSRGraph,
+                 policy: VerificationPolicy, metrics):
+        self.device = device
+        self.g = g
+        self.policy = policy
+        self.checker = RootChecker(policy, metrics) if policy.enabled else None
+        self.metrics = metrics
+        #: Sum of every accepted root's dependencies — the reference the
+        #: final partial-BC checksum is validated against.
+        self.expected_sum = 0.0
+        self._pos = 0
+        self._events: list = []
+
+    def _apply(self, events, site: str, arr: np.ndarray) -> None:
+        hits = [ev for ev in events if ev.site == site]
+        if not hits:
+            return
+        from ..resilience.faults import apply_sdc
+
+        for ev in hits:
+            apply_sdc(ev, arr, seed=self.device._sdc_seed())
+            self.metrics.inc("verify.faults_injected", site=site)
+
+    def after_forward(self, fwd) -> None:
+        self._events = list(self.device._sdc_events(self._pos))
+        self._apply(self._events, "sigma", fwd.sigma)
+        self._apply(self._events, "dist", fwd.distances)
+
+    def after_accumulation(self, fwd, delta: np.ndarray) -> None:
+        self._apply(self._events, "delta", delta)
+        self._events = []
+        self._pos += 1
+        if self.checker is not None and self.policy.checks_root(fwd.source):
+            t0 = time.perf_counter()
+            violations = self.checker.check_root(self.g, fwd, delta)
+            self.metrics.inc("verify.overhead_seconds",
+                             time.perf_counter() - t0)
+            if violations:
+                self.metrics.inc("verify.corruption_detected", layer="device")
+                raise SilentCorruptionError(violations, root=fwd.source)
+        self.expected_sum += float(delta.sum())
+
+    def finish(self, bc: np.ndarray) -> None:
+        """Partial-BC injection + unit checksum, once per run (called
+        before the undirected halving so the checksum reference and the
+        vector are in the same units)."""
+        self._apply(self.device._sdc_partial_events(), "partial", bc)
+        if self.checker is not None:
+            t0 = time.perf_counter()
+            violations = self.checker.check_partial(bc, self.expected_sum)
+            self.metrics.inc("verify.overhead_seconds",
+                             time.perf_counter() - t0)
+            if violations:
+                self.metrics.inc("verify.corruption_detected", layer="device")
+                raise SilentCorruptionError(violations)
+
+
 def _list_schedule(costs_per_root, num_workers: int):
     """Greedy in-order list scheduling; returns (makespan, per-worker)."""
     workers = [0.0] * max(1, int(num_workers))
@@ -179,6 +253,24 @@ class Device:
         overrides it to raise planned :class:`~repro.errors.RankFailure`
         or :class:`~repro.errors.DeviceOutOfMemoryError` faults."""
 
+    # -- silent-corruption hooks (overridden by FaultyDevice) ----------
+    def _sdc_pending(self) -> bool:
+        """Whether any planned ``sdc`` events target this device."""
+        return False
+
+    def _sdc_events(self, root_pos: int) -> list:
+        """Planned per-root bit-flips for the ``root_pos``-th root of
+        this run (consumed on return)."""
+        return []
+
+    def _sdc_partial_events(self) -> list:
+        """Planned bit-flips against this device's partial BC vector."""
+        return []
+
+    def _sdc_seed(self) -> int:
+        """Seed the SDC victim-selection RNG derives from."""
+        return 0
+
     # ------------------------------------------------------------------
     def run_bc(
         self,
@@ -194,6 +286,7 @@ class Device:
         strict_reader: bool = False,
         check_memory: bool = True,
         metrics=None,
+        verify="off",
     ) -> DeviceRun:
         """Run BC on the device under ``strategy``.
 
@@ -220,6 +313,13 @@ class Device:
             allocated) plus the per-level ``engine.*`` series of every
             root, inside a ``device.run_bc`` span.  Export the finished
             trace with :func:`repro.observability.run_profile`.
+        verify:
+            A :class:`~repro.verify.VerificationPolicy`, a mode string
+            (``"off"``/``"sampled"``/``"paranoid"``), or ``None``.
+            When enabled, each root's forward/accumulation state passes
+            the ABFT invariant suite and the final partial BC vector is
+            checksummed; a violation raises
+            :class:`~repro.errors.SilentCorruptionError`.
         """
         if metrics is None:
             metrics = NULL_REGISTRY
@@ -258,22 +358,31 @@ class Device:
         bc = np.zeros(n, dtype=np.float64)
         chunk = self.spec.concurrent_threads_per_sm
 
+        verify_policy = VerificationPolicy.coerce(verify)
+        observer = None
+        if verify_policy.enabled or self._sdc_pending():
+            observer = _RunObserver(self, g, verify_policy, metrics)
+
         fixed_cycles = 0.0
         fixed_roots = 0
         with metrics.span("device.run_bc", strategy=strategy,
                           device=self.spec.name):
             if strategy == GPU_FAN:
-                run = self._run_gpu_fan(g, roots, bc, chunk, metrics)
+                run = self._run_gpu_fan(g, roots, bc, chunk, metrics,
+                                        observer=observer)
             elif strategy == "sampling":
                 run = self._run_sampling(g, roots, bc, chunk, n_samps, gamma,
-                                         min_frontier, metrics)
+                                         min_frontier, metrics,
+                                         observer=observer)
                 fixed_cycles = run[3]
                 fixed_roots = run[4]
                 run = run[:3]
             else:
                 policy_factory = self._policy_factory(strategy, alpha, beta)
                 run = self._run_coarse(g, roots, bc, chunk, policy_factory,
-                                       metrics)
+                                       metrics, observer=observer)
+            if observer is not None:
+                observer.finish(bc)
 
         trace, makespan, extra = run
         slow = float(self.straggler_factor)
@@ -335,13 +444,13 @@ class Device:
         raise StrategyError(f"no policy for {strategy!r}")
 
     def _run_coarse(self, g, roots, bc, chunk, policy_factory,
-                    metrics=NULL_REGISTRY):
+                    metrics=NULL_REGISTRY, observer=None):
         """Jia-style layout: blocks pull roots; makespan scheduling."""
         trace = RunTrace()
         for s in roots:
             trace.roots.append(
                 _run_root(g, int(s), bc, policy_factory(), self.costs, chunk,
-                          metrics=metrics)
+                          metrics=metrics, observer=observer)
             )
         makespan, per_sm = _list_schedule(
             [rt.cycles for rt in trace.roots], self.spec.num_sms
@@ -350,7 +459,8 @@ class Device:
         trace.sm_cycles = per_sm
         return trace, makespan, None
 
-    def _run_gpu_fan(self, g, roots, bc, chunk, metrics=NULL_REGISTRY):
+    def _run_gpu_fan(self, g, roots, bc, chunk, metrics=NULL_REGISTRY,
+                     observer=None):
         """GPU-FAN layout: whole device per root, roots sequential."""
         trace = RunTrace()
         device_chunk = self.spec.total_threads
@@ -358,7 +468,8 @@ class Device:
         for s in roots:
             trace.roots.append(
                 _run_root(g, int(s), bc, policy, self.costs, chunk,
-                         device_chunk=device_chunk, metrics=metrics)
+                         device_chunk=device_chunk, metrics=metrics,
+                         observer=observer)
             )
         makespan = trace.total_root_cycles
         trace.makespan_cycles = makespan
@@ -366,7 +477,7 @@ class Device:
         return trace, makespan, None
 
     def _run_sampling(self, g, roots, bc, chunk, n_samps, gamma, min_frontier,
-                      metrics=NULL_REGISTRY):
+                      metrics=NULL_REGISTRY, observer=None):
         """Algorithm 5: classify with the first ``n_samps`` roots, then
         finish with the selected method."""
         trace = RunTrace()
@@ -376,7 +487,7 @@ class Device:
         we = FixedPolicy(WORK_EFFICIENT)
         for s in phase1:
             trace.roots.append(_run_root(g, int(s), bc, we, self.costs, chunk,
-                                         metrics=metrics))
+                                         metrics=metrics, observer=observer))
         makespan1, _ = _list_schedule(
             [rt.cycles for rt in trace.roots], self.spec.num_sms
         )
@@ -389,7 +500,7 @@ class Device:
             policy = (FrontierGuardPolicy(min_frontier) if use_ep
                       else FixedPolicy(WORK_EFFICIENT))
             trace.roots.append(_run_root(g, int(s), bc, policy, self.costs, chunk,
-                                         metrics=metrics))
+                                         metrics=metrics, observer=observer))
         makespan2, per_sm = _list_schedule(
             [rt.cycles for rt in trace.roots[phase2_start:]], self.spec.num_sms
         )

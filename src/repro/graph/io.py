@@ -11,6 +11,14 @@ Supported formats:
   per vertex listing its (1-indexed) neighbours.
 * **Matrix Market** coordinate pattern format used by the University of
   Florida Sparse Matrix Collection (``af_shell9``).
+* **NumPy ``.npz`` CSR payloads** (``indptr``/``adj`` arrays) — the
+  repo's own binary interchange format for preprocessed graphs.
+
+Every reader validates its input *at load time* — negative or
+out-of-range vertex ids, non-monotone CSR offsets, malformed headers —
+and raises :class:`~repro.errors.GraphFormatError` carrying the file
+name and line number, instead of letting a poisoned graph fail deep
+inside a traversal kernel.
 """
 
 from __future__ import annotations
@@ -21,7 +29,7 @@ from typing import TextIO
 
 import numpy as np
 
-from ..errors import GraphFormatError
+from ..errors import GraphFormatError, GraphStructureError
 from .build import from_edges
 from .csr import CSRGraph
 
@@ -32,6 +40,8 @@ __all__ = [
     "write_dimacs_metis",
     "read_matrix_market",
     "write_matrix_market",
+    "read_csr_npz",
+    "write_csr_npz",
     "load_graph",
 ]
 
@@ -42,9 +52,17 @@ def _open(path_or_file, mode: str = "r"):
     return open(path_or_file, mode), True
 
 
+def _label(path_or_file) -> str:
+    """File label for error context: the path, or the stream's name."""
+    if hasattr(path_or_file, "read") or hasattr(path_or_file, "write"):
+        return str(getattr(path_or_file, "name", "<stream>"))
+    return str(path_or_file)
+
+
 def read_snap_edgelist(path_or_file, undirected: bool = True, name: str = "") -> CSRGraph:
     """Read a SNAP-style edge list (``#`` comments, whitespace pairs)."""
     fh, close = _open(path_or_file)
+    where = _label(path_or_file)
     try:
         pairs = []
         for lineno, line in enumerate(fh, 1):
@@ -53,11 +71,20 @@ def read_snap_edgelist(path_or_file, undirected: bool = True, name: str = "") ->
                 continue
             parts = line.split()
             if len(parts) < 2:
-                raise GraphFormatError(f"line {lineno}: expected 'u v', got {line!r}")
+                raise GraphFormatError(
+                    f"{where}: line {lineno}: expected 'u v', got {line!r}"
+                )
             try:
-                pairs.append((int(parts[0]), int(parts[1])))
+                u, v = int(parts[0]), int(parts[1])
             except ValueError as exc:
-                raise GraphFormatError(f"line {lineno}: non-integer endpoint") from exc
+                raise GraphFormatError(
+                    f"{where}: line {lineno}: non-integer endpoint in {line!r}"
+                ) from exc
+            if u < 0 or v < 0:
+                raise GraphFormatError(
+                    f"{where}: line {lineno}: negative vertex id in {line!r}"
+                )
+            pairs.append((u, v))
     finally:
         if close:
             fh.close()
@@ -86,9 +113,10 @@ def write_snap_edgelist(g: CSRGraph, path_or_file) -> None:
 def read_dimacs_metis(path_or_file, name: str = "") -> CSRGraph:
     """Read a DIMACS-10/METIS adjacency file (1-indexed, undirected)."""
     fh, close = _open(path_or_file)
+    where = _label(path_or_file)
     try:
         header = None
-        rows: list[list[int]] = []
+        rows: list[tuple[int, list[int]]] = []
         for lineno, line in enumerate(fh, 1):
             stripped = line.strip()
             if stripped.startswith("%"):
@@ -98,28 +126,48 @@ def read_dimacs_metis(path_or_file, name: str = "") -> CSRGraph:
                     continue  # leading blank lines before the header
                 parts = stripped.split()
                 if len(parts) < 2:
-                    raise GraphFormatError(f"line {lineno}: bad METIS header {line!r}")
-                header = (int(parts[0]), int(parts[1]))
+                    raise GraphFormatError(
+                        f"{where}: line {lineno}: bad METIS header {line!r}"
+                    )
+                try:
+                    header = (int(parts[0]), int(parts[1]))
+                except ValueError as exc:
+                    raise GraphFormatError(
+                        f"{where}: line {lineno}: non-integer METIS header "
+                        f"{line!r}"
+                    ) from exc
+                if header[0] < 0 or header[1] < 0:
+                    raise GraphFormatError(
+                        f"{where}: line {lineno}: negative count in METIS "
+                        f"header {line!r}"
+                    )
                 continue
             # After the header every non-comment line is one vertex's
             # adjacency row; a blank line is an isolated vertex.
             try:
-                rows.append([int(x) for x in stripped.split()])
+                rows.append((lineno, [int(x) for x in stripped.split()]))
             except ValueError as exc:
-                raise GraphFormatError(f"line {lineno}: non-integer neighbour") from exc
+                raise GraphFormatError(
+                    f"{where}: line {lineno}: non-integer neighbour"
+                ) from exc
         if header is None:
-            raise GraphFormatError("missing METIS header line")
+            raise GraphFormatError(f"{where}: missing METIS header line")
         n, m = header
         # Tolerate a missing trailing blank line for a final isolated vertex.
         while len(rows) < n:
-            rows.append([])
+            rows.append((-1, []))
         if len(rows) > n:
-            raise GraphFormatError(f"expected {n} adjacency rows, found {len(rows)}")
+            raise GraphFormatError(
+                f"{where}: expected {n} adjacency rows, found {len(rows)}"
+            )
         pairs = []
-        for u, nbrs in enumerate(rows):
+        for u, (lineno, nbrs) in enumerate(rows):
             for v1 in nbrs:
                 if not 1 <= v1 <= n:
-                    raise GraphFormatError(f"vertex id {v1} out of 1..{n}")
+                    raise GraphFormatError(
+                        f"{where}: line {lineno}: vertex id {v1} out of "
+                        f"1..{n}"
+                    )
                 pairs.append((u, v1 - 1))
         edges = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
         g = from_edges(edges, num_vertices=n, undirected=True, name=name,
@@ -129,7 +177,8 @@ def read_dimacs_metis(path_or_file, name: str = "") -> CSRGraph:
             # arise from duplicate rows but surface gross corruption.
             if abs(g.num_edges - m) > m:
                 raise GraphFormatError(
-                    f"header claims {m} edges, file contains {g.num_edges}"
+                    f"{where}: header claims {m} edges, file contains "
+                    f"{g.num_edges}"
                 )
         return g
     finally:
@@ -159,30 +208,71 @@ def read_matrix_market(path_or_file, name: str = "") -> CSRGraph:
     edges, and diagonal entries (self loops) are dropped.
     """
     fh, close = _open(path_or_file)
+    where = _label(path_or_file)
     try:
         first = fh.readline()
         if not first.startswith("%%MatrixMarket"):
-            raise GraphFormatError("missing MatrixMarket banner")
+            raise GraphFormatError(f"{where}: missing MatrixMarket banner")
         tokens = first.split()
         if len(tokens) < 5 or tokens[1] != "matrix" or tokens[2] != "coordinate":
-            raise GraphFormatError(f"unsupported MatrixMarket header: {first!r}")
+            raise GraphFormatError(
+                f"{where}: unsupported MatrixMarket header: {first!r}"
+            )
+        lineno = 1
         line = fh.readline()
+        lineno += 1
         while line.startswith("%"):
             line = fh.readline()
+            lineno += 1
         parts = line.split()
         if len(parts) != 3:
-            raise GraphFormatError(f"bad size line: {line!r}")
-        nrows, ncols, nnz = (int(x) for x in parts)
+            raise GraphFormatError(
+                f"{where}: line {lineno}: bad size line: {line!r}"
+            )
+        try:
+            nrows, ncols, nnz = (int(x) for x in parts)
+        except ValueError as exc:
+            raise GraphFormatError(
+                f"{where}: line {lineno}: non-integer size line: {line!r}"
+            ) from exc
+        if nrows < 0 or ncols < 0 or nnz < 0:
+            raise GraphFormatError(
+                f"{where}: line {lineno}: negative dimension in size line: "
+                f"{line!r}"
+            )
         n = max(nrows, ncols)
         pairs = []
-        for lineno, line in enumerate(fh, 1):
+        entries = 0
+        for lineno, line in enumerate(fh, lineno + 1):
             line = line.strip()
             if not line:
                 continue
             parts = line.split()
-            u, v = int(parts[0]) - 1, int(parts[1]) - 1
-            if u != v:
-                pairs.append((u, v))
+            if len(parts) < 2:
+                raise GraphFormatError(
+                    f"{where}: line {lineno}: expected 'row col', got "
+                    f"{line!r}"
+                )
+            try:
+                u1, v1 = int(parts[0]), int(parts[1])
+            except ValueError as exc:
+                raise GraphFormatError(
+                    f"{where}: line {lineno}: non-integer coordinate in "
+                    f"{line!r}"
+                ) from exc
+            if not (1 <= u1 <= nrows and 1 <= v1 <= ncols):
+                raise GraphFormatError(
+                    f"{where}: line {lineno}: entry ({u1}, {v1}) outside "
+                    f"the declared {nrows} x {ncols} matrix"
+                )
+            entries += 1
+            if u1 != v1:
+                pairs.append((u1 - 1, v1 - 1))
+        if entries != nnz:
+            raise GraphFormatError(
+                f"{where}: size line declares {nnz} entries, file contains "
+                f"{entries}"
+            )
         edges = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
         return from_edges(edges, num_vertices=n, undirected=True, name=name)
     finally:
@@ -208,12 +298,59 @@ def write_matrix_market(g: CSRGraph, path_or_file) -> None:
             fh.close()
 
 
+def read_csr_npz(path, name: str = "") -> CSRGraph:
+    """Read a CSR graph from a NumPy ``.npz`` payload.
+
+    The payload must contain ``indptr`` and ``adj`` arrays (plus
+    optional ``undirected``/``name`` scalars, as written by
+    :func:`write_csr_npz`).  The CSR structure is validated before the
+    graph is returned — non-monotone offsets, ``indptr``/``adj`` length
+    mismatches, and out-of-range adjacency targets all raise
+    :class:`~repro.errors.GraphFormatError` with the file named, rather
+    than surfacing later as an index error inside a traversal kernel.
+    """
+    where = str(path)
+    try:
+        data = np.load(path, allow_pickle=False)
+    except (OSError, ValueError) as exc:
+        raise GraphFormatError(f"{where}: not a readable .npz file: {exc}") from exc
+    with data:
+        missing = {"indptr", "adj"} - set(data.files)
+        if missing:
+            raise GraphFormatError(
+                f"{where}: missing CSR arrays {sorted(missing)}"
+            )
+        indptr = data["indptr"]
+        adj = data["adj"]
+        undirected = bool(data["undirected"]) if "undirected" in data.files else True
+        stored_name = str(data["name"]) if "name" in data.files else ""
+    if not np.issubdtype(indptr.dtype, np.integer) \
+            or not np.issubdtype(adj.dtype, np.integer):
+        raise GraphFormatError(
+            f"{where}: indptr/adj must be integer arrays, got "
+            f"{indptr.dtype}/{adj.dtype}"
+        )
+    try:
+        return CSRGraph(indptr, adj, undirected=undirected,
+                        name=name or stored_name)
+    except GraphStructureError as exc:
+        raise GraphFormatError(f"{where}: invalid CSR payload: {exc}") from exc
+
+
+def write_csr_npz(g: CSRGraph, path) -> None:
+    """Write a graph as a NumPy ``.npz`` CSR payload (see
+    :func:`read_csr_npz`)."""
+    np.savez(path, indptr=g.indptr, adj=g.adj,
+             undirected=np.bool_(g.undirected), name=np.str_(g.name))
+
+
 _EXTENSIONS = {
     ".txt": read_snap_edgelist,
     ".edges": read_snap_edgelist,
     ".graph": read_dimacs_metis,
     ".metis": read_dimacs_metis,
     ".mtx": read_matrix_market,
+    ".npz": read_csr_npz,
 }
 
 

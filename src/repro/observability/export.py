@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import csv
 import json
+import os
 
 from .registry import MetricsRegistry, Span
 
@@ -84,10 +85,16 @@ def dumps(payload: dict) -> str:
 
 
 def write_json(path, registry_or_dict) -> dict:
-    """Write a registry (or an already-exported dict) as canonical JSON."""
+    """Write a registry (or an already-exported dict) as canonical JSON.
+
+    Missing parent directories are created, so a report path like
+    ``results/run1/metrics.json`` works on a fresh checkout."""
     payload = (registry_or_dict.export()
                if isinstance(registry_or_dict, MetricsRegistry)
                else registry_or_dict)
+    parent = os.path.dirname(str(path))
+    if parent:
+        os.makedirs(parent, exist_ok=True)
     with open(path, "w", encoding="utf-8") as fh:
         fh.write(dumps(payload) + "\n")
     return payload

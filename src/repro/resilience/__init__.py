@@ -27,19 +27,27 @@ from .faults import (
     COLLECTIVES,
     FAIL_STOP,
     OOM,
+    SDC,
+    SDC_SITES,
     STRAGGLER,
     ActiveFaults,
     FaultEvent,
     FaultPlan,
     FaultyComm,
     FaultyDevice,
+    apply_sdc,
+    flip_bit,
 )
 
 __all__ = [
     "FAIL_STOP",
     "OOM",
     "STRAGGLER",
+    "SDC",
+    "SDC_SITES",
     "COLLECTIVES",
+    "apply_sdc",
+    "flip_bit",
     "FaultEvent",
     "FaultPlan",
     "ActiveFaults",

@@ -25,6 +25,13 @@ naturally checkpointable and re-partitionable:
    roots, rescale by ``pending / k``) and the result is flagged
    ``exact=False`` instead of raising.
 
+5. Ranks that **lie** (the ``sdc`` fault kind — a silent bit-flip in a
+   per-root array, a unit partial, or an in-flight reduce buffer) are
+   caught by the ABFT invariant suite of :mod:`repro.verify` when a
+   verification policy is active: the corrupted root (or unit) is
+   quarantined and recomputed like any orphan, and the final reduce is
+   checksummed against stable storage and re-entered on mismatch.
+
 With no faults injected — or with any single fail-stop failure and at
 least one retry — the returned values are bit-for-bit-close to the
 serial :func:`repro.bc.betweenness_centrality`.
@@ -32,11 +39,14 @@ serial :func:`repro.bc.betweenness_centrality`.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..bc.accumulation import dependency_accumulation
 from ..bc.api import bc_single_source_dependencies
+from ..bc.frontier import forward_sweep
 from ..cluster.distributed import partition_roots
 from ..cluster.mpi_sim import SimComm
 from ..cluster.topology import ClusterSpec
@@ -49,7 +59,16 @@ from ..graph.csr import CSRGraph
 from ..gpusim.device import Device
 from ..observability.clock import SpanClock
 from ..observability.registry import NULL_REGISTRY
-from .faults import ActiveFaults, FaultPlan, FaultyComm, OOM, FAIL_STOP
+from ..verify import RootChecker, VerificationPolicy
+from .faults import (
+    ActiveFaults,
+    FaultPlan,
+    FaultyComm,
+    OOM,
+    FAIL_STOP,
+    SDC,
+    apply_sdc,
+)
 
 __all__ = [
     "CheckpointStore",
@@ -101,8 +120,10 @@ class RankIncident:
     """One observed fault during a resilient run."""
 
     rank: int
-    kind: str          # "fail-stop" | "oom"
-    where: str         # "compute" or a collective name
+    kind: str          # "fail-stop" | "oom" | "sdc"
+    where: str         # "compute", a collective name, or (for sdc) the
+                       # violated invariant ("range"/"sigma"/"checksum"/
+                       # "partial"/"reduce"/...)
     attempt: int       # recovery round in which it fired (0 = first try)
     roots_lost: int    # orphaned roots that had to be reassigned
 
@@ -142,6 +163,20 @@ class ResilientRun:
     #: :class:`~repro.observability.SpanClock`.
     sim_seconds: float = 0.0
     degrade_samples_used: int = 0
+    #: Verification mode the run executed under ("off"/"sampled"/
+    #: "paranoid").
+    verification: str = "off"
+    #: ABFT detections: invariant violations caught (per-root, partial,
+    #: or reduce checksum).
+    corruption_detected: int = 0
+    #: Roots discarded after a detection and recomputed (or degraded).
+    roots_requarantined: int = 0
+    #: Checksummed-reduce re-entries after an in-flight corruption.
+    reduce_retries: int = 0
+    #: True when a reduce-level corruption could not be repaired within
+    #: the retry budget; the values carry the corruption and the run is
+    #: not exact.
+    corrupted_reduce: bool = False
 
     @property
     def degraded(self) -> bool:
@@ -156,6 +191,10 @@ class ResilientRun:
             f"{self.completed_roots} exact / {self.degraded_roots} degraded",
             f"recovery         : {self.retries} retry round(s), "
             f"{self.recomputed_roots} roots recomputed",
+            f"verification     : {self.verification} "
+            f"({self.corruption_detected} detection(s), "
+            f"{self.roots_requarantined} roots requarantined, "
+            f"{self.reduce_retries} reduce retry(s))",
             f"incidents        : {len(self.incidents)}",
         ]
         for inc in self.incidents:
@@ -170,7 +209,10 @@ class ResilientRun:
             f"comm={self.comm_seconds:.6f} "
             f"(of which recovery={self.recovery_seconds:.4f})"
         )
-        lines.append(f"result           : {'EXACT' if self.exact else 'DEGRADED'}")
+        verdict = "EXACT" if self.exact else "DEGRADED"
+        if self.corrupted_reduce:
+            verdict += " (unrepaired reduce corruption)"
+        lines.append(f"result           : {verdict}")
         return "\n".join(lines)
 
 
@@ -221,6 +263,7 @@ def resilient_distributed_bc(
     seed: int = 0,
     metrics=None,
     clock: SpanClock | None = None,
+    verify="off",
 ) -> ResilientRun:
     """Exact distributed BC that survives injected rank failures.
 
@@ -263,6 +306,19 @@ def resilient_distributed_bc(
         fresh clock.  Simulated charges (compute makespan, backoff,
         degrade sampling) are advanced on it exactly once each, so the
         two paths cannot disagree.
+    verify:
+        A :class:`~repro.verify.VerificationPolicy`, a mode string
+        (``"off"``/``"sampled"``/``"paranoid"``), or ``None``.  When
+        enabled, every checked root runs the ABFT invariant suite; a
+        root caught corrupted (an ``sdc`` bit-flip in its ``sigma``/
+        ``dist``/``delta``) is **quarantined** — discarded and re-run in
+        the next recovery round like an orphan of a crashed rank.  A
+        corrupted unit-level partial discards the whole unit.  The final
+        reduce is checksummed against the stable-storage partials and
+        re-entered on mismatch (the injector corrupts in-flight copies,
+        so redundant reduction heals).  Budget exhaustion degrades as
+        usual, with the corruption surfaced in the returned record
+        instead of silently poisoning the values.
 
     Returns a :class:`ResilientRun`; ``run.values`` equals the serial
     :func:`repro.bc.betweenness_centrality` whenever ``run.exact``.
@@ -279,11 +335,15 @@ def resilient_distributed_bc(
     if clock is None:
         clock = metrics.clock if metrics.enabled else SpanClock()
 
-    faults: ActiveFaults | None = fault_plan.start() if fault_plan else None
+    faults: ActiveFaults | None = (fault_plan.start(seed=seed)
+                                   if fault_plan else None)
     if comm is None:
         comm = FaultyComm(num_ranks, faults=faults, metrics=metrics)
     elif comm.size != num_ranks:
         raise ClusterConfigurationError("communicator size mismatch")
+
+    policy = VerificationPolicy.coerce(verify)
+    checker = RootChecker(policy, metrics) if policy.enabled else None
 
     n = g.num_vertices
     half = 2.0 if g.undirected else 1.0
@@ -295,10 +355,26 @@ def resilient_distributed_bc(
              for c in ("compute", "backoff", "degrade")}
     recovery_s = 0.0
     recomputed_roots = 0
+    corruption_detected = 0
+    roots_requarantined = 0
 
     def record_incident(inc: RankIncident) -> None:
         incidents.append(inc)
         metrics.inc("resilience.incidents", kind=inc.kind, where=inc.where)
+
+    def checked(fn, *args, **kwargs):
+        # Every invariant evaluation is timed so the layer's cost is a
+        # first-class observable (verify.overhead_seconds).
+        t0 = time.perf_counter()
+        out = fn(*args, **kwargs)
+        metrics.inc("verify.overhead_seconds", time.perf_counter() - t0)
+        return out
+
+    def apply_site(events, site: str, arr: np.ndarray) -> None:
+        for ev in events:
+            if ev.site == site:
+                apply_sdc(ev, arr, seed=faults.seed)
+                metrics.inc("verify.faults_injected", site=site)
 
     def over_budget() -> bool:
         # Same clock, same expression as the final elapsed_seconds
@@ -372,13 +448,75 @@ def resilient_distributed_bc(
             # Per-rank timeline entry: the span's wall duration is the
             # real recompute time; its simulated cost is recorded as a
             # labelled counter (the round charges only the makespan).
+            quarantined: list = []
             with metrics.span("resilience.rank_compute", rank=rank,
                               attempt=attempt):
                 partial = np.zeros(n, dtype=np.float64)
-                for s in roots:
-                    partial += bc_single_source_dependencies(g, int(s))
-            partial /= half
-            store.commit(rank, roots, partial)
+                expected_sum = 0.0
+                for pos, s in enumerate(roots):
+                    s = int(s)
+                    fwd = forward_sweep(g, s)
+                    events = faults.sdc_for_root(rank, pos) if faults else []
+                    # sigma/dist strikes hit before accumulation so the
+                    # corruption propagates into delta, as a real upset
+                    # in resident memory would.
+                    apply_site(events, "sigma", fwd.sigma)
+                    apply_site(events, "dist", fwd.distances)
+                    delta = dependency_accumulation(g, fwd)
+                    apply_site(events, "delta", delta)
+                    if checker is not None and policy.checks_root(s):
+                        violations = checked(checker.check_root, g, fwd,
+                                             delta)
+                        if violations:
+                            # Quarantine: the root's contribution never
+                            # reaches the partial; it is re-run next
+                            # round exactly like a crashed rank's
+                            # orphan.
+                            corruption_detected += 1
+                            quarantined.append(s)
+                            record_incident(RankIncident(
+                                rank, SDC, violations[0].invariant,
+                                attempt, 1))
+                            metrics.inc("verify.corruption_detected",
+                                        layer="driver",
+                                        invariant=violations[0].invariant)
+                            continue
+                    partial += delta
+                    expected_sum += float(delta.sum())
+                # Unit-level corruption (the "partial" site) strikes the
+                # accumulated vector just before the checkpoint write.
+                apply_site(faults.sdc_for_partial(rank) if faults else [],
+                           "partial", partial)
+                if checker is not None:
+                    pv = checked(checker.check_partial, partial,
+                                 expected_sum, rank)
+                    if pv:
+                        # The whole unit is suspect — nothing from it may
+                        # reach stable storage.
+                        corruption_detected += 1
+                        good = [int(s) for s in roots
+                                if int(s) not in quarantined]
+                        record_incident(RankIncident(
+                            rank, SDC, pv[0].invariant, attempt,
+                            len(good)))
+                        metrics.inc("verify.corruption_detected",
+                                    layer="driver",
+                                    invariant=pv[0].invariant)
+                        quarantined.extend(good)
+                        partial = None
+            if partial is not None:
+                good = np.asarray(
+                    [int(s) for s in roots if int(s) not in quarantined],
+                    dtype=np.int64)
+                if good.size:
+                    partial /= half
+                    store.commit(rank, good, partial)
+            if quarantined:
+                roots_requarantined += len(quarantined)
+                metrics.inc("resilience.roots_requarantined",
+                            len(quarantined))
+                round_orphans.append(np.asarray(quarantined,
+                                                dtype=np.int64))
             cost = per_root_seconds * roots.size * factor
             round_costs.append(cost)
             metrics.inc("resilience.rank_seconds", cost, rank=rank)
@@ -408,15 +546,43 @@ def resilient_distributed_bc(
     # ------------------------------------------------------------------
     # Score reduction (MPI_Reduce) over checkpointed partials.  A rank
     # dying here loses nothing — its unit is already in stable storage —
-    # so the collective is simply re-entered.
+    # so the collective is simply re-entered.  With verification on, the
+    # reduce is also *checksummed*: the reduced vector's sum must match
+    # the independently-summed per-rank checksums (computed from stable
+    # storage, which in-flight corruption cannot touch).  A mismatch
+    # re-enters the collective — redundant reduction over clean inputs
+    # repairs a transient in-flight bit-flip.
+    reduce_retries = 0
+    corrupted_reduce = False
     while True:
+        values = store.per_rank_values()
         try:
-            total = comm.reduce(store.per_rank_values(), root=0)
-            break
+            total = comm.reduce(values, root=0)
         except RankFailure as f:
             record_incident(RankIncident(f.rank, FAIL_STOP, f.where,
                                          attempt, 0))
             comm.mark_dead(f.rank)
+            continue
+        if checker is None:
+            break
+        expected = float(sum(float(v.sum()) for v in values))
+        if checked(checker.reduce_ok, total, expected):
+            break
+        corruption_detected += 1
+        victim = -1
+        corruptions = getattr(comm, "corruptions", None)
+        if corruptions:
+            victim = int(corruptions[-1].get("rank", -1))
+        record_incident(RankIncident(victim, SDC, "reduce", attempt, 0))
+        metrics.inc("verify.corruption_detected", layer="driver",
+                    invariant="reduce")
+        if reduce_retries >= max_retries:
+            # Out of budget: surface the corruption instead of looping —
+            # the values carry it and the run is flagged inexact.
+            corrupted_reduce = True
+            break
+        reduce_retries += 1
+        metrics.inc("resilience.reduce_retries")
 
     # ------------------------------------------------------------------
     # Graceful degradation for whatever never completed.
@@ -448,7 +614,7 @@ def resilient_distributed_bc(
     wall_s = clock.wall_seconds() - wall0
     return ResilientRun(
         values=total,
-        exact=degraded_roots == 0,
+        exact=degraded_roots == 0 and not corrupted_reduce,
         num_ranks=num_ranks,
         survivors=len(comm.live),
         total_roots=n,
@@ -466,4 +632,9 @@ def resilient_distributed_bc(
         wall_seconds=wall_s,
         sim_seconds=sim_s,
         degrade_samples_used=samples_used,
+        verification=policy.mode,
+        corruption_detected=corruption_detected,
+        roots_requarantined=roots_requarantined,
+        reduce_retries=reduce_retries,
+        corrupted_reduce=corrupted_reduce,
     )

@@ -21,6 +21,13 @@ testing what happens when one doesn't:
 
 Everything is deterministic: a plan built from an explicit event list
 or from :meth:`FaultPlan.random` with a seed always fires identically.
+
+Beyond ranks that die, the ``sdc`` kind models ranks that *lie*: a
+single seeded bit-flip in one of the per-root arrays (``sigma``,
+``delta``, ``dist``), a rank's partial BC vector, or an in-flight
+reduce contribution (injected by :meth:`FaultyComm.reduce`).  Detection
+and repair live in :mod:`repro.verify` and the resilient driver; the
+injector's job is only to corrupt deterministically.
 """
 
 from __future__ import annotations
@@ -39,25 +46,45 @@ __all__ = [
     "FAIL_STOP",
     "OOM",
     "STRAGGLER",
+    "SDC",
     "COLLECTIVES",
+    "SDC_SITES",
     "FaultEvent",
     "FaultPlan",
     "ActiveFaults",
     "FaultyComm",
     "FaultyDevice",
+    "flip_bit",
+    "apply_sdc",
 ]
 
 #: Fault kinds.
 FAIL_STOP = "fail-stop"
 OOM = "oom"
 STRAGGLER = "straggler"
-_KINDS = (FAIL_STOP, OOM, STRAGGLER)
+SDC = "sdc"
+_KINDS = (FAIL_STOP, OOM, STRAGGLER, SDC)
+#: Kinds :meth:`FaultPlan.random` draws from by default.  SDC is opt-in
+#: because silent corruption is only meaningful when a verification
+#: policy is active — injecting it into an unverified run makes the
+#: result wrong by construction.
+_RANDOM_KINDS = (FAIL_STOP, OOM, STRAGGLER)
 
 #: Injection points a fail-stop can target ("compute" plus every
 #: :class:`SimComm` collective).
 COLLECTIVES = ("bcast", "scatter", "gather", "allgather", "reduce",
                "allreduce", "barrier")
 _WHERE = ("compute",) + COLLECTIVES
+
+#: Arrays an ``sdc`` bit-flip can target.  The first three strike one
+#: root's intermediate state, ``partial`` a rank's accumulated BC
+#: vector, ``reduce`` one rank's contribution inside the collective.
+SDC_SITES = ("sigma", "delta", "dist", "partial", "reduce")
+
+#: Default bit flipped by an ``sdc`` event: high in the float64
+#: mantissa/exponent, so the corruption is numerically meaningful
+#: (relative change >= ~2**-3) rather than lost in rounding noise.
+DEFAULT_SDC_BIT = 55
 
 
 @dataclass(frozen=True)
@@ -84,6 +111,15 @@ class FaultEvent:
         clears.
     factor:
         Straggler slowdown multiple (``>= 1``).
+    site:
+        For ``sdc``: which array the bit-flip strikes (one of
+        :data:`SDC_SITES`).
+    root_index:
+        For ``sdc`` on a per-root site (``sigma``/``delta``/``dist``):
+        the position within the victim rank's current root partition at
+        which the flip fires.
+    bit:
+        For ``sdc``: which bit of the victim 64-bit word is flipped.
     """
 
     kind: str
@@ -92,6 +128,9 @@ class FaultEvent:
     after_roots: int = 0
     times: int = 1
     factor: float = 2.0
+    site: str = "delta"
+    root_index: int = 0
+    bit: int = DEFAULT_SDC_BIT
 
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
@@ -110,6 +149,41 @@ class FaultEvent:
             raise FaultSpecError("times must be >= 1")
         if self.factor < 1.0:
             raise FaultSpecError("straggler factor must be >= 1")
+        if self.site not in SDC_SITES:
+            raise FaultSpecError(
+                f"unknown sdc site {self.site!r}; known: {SDC_SITES}"
+            )
+        if self.root_index < 0:
+            raise FaultSpecError("root_index must be >= 0")
+        if not 0 <= self.bit <= 63:
+            raise FaultSpecError("bit must be in [0, 63]")
+
+    def spec(self) -> str:
+        """The entry's canonical CLI spec; ``FaultPlan.parse`` inverts
+        it exactly (defaults are omitted)."""
+        if self.kind == FAIL_STOP:
+            out = f"fail:{self.rank}"
+            if self.where != "compute":
+                out += f"@{self.where}"
+            if self.after_roots:
+                out += f"+{self.after_roots}"
+            return out
+        if self.kind == OOM:
+            return f"oom:{self.rank}" + (f"x{self.times}" if self.times != 1
+                                         else "")
+        if self.kind == STRAGGLER:
+            return f"straggler:{self.rank}x{self.factor!r}"
+        out = f"sdc:{self.rank}"
+        if self.site != "delta":
+            out += f"@{self.site}"
+        if self.root_index:
+            out += f"+{self.root_index}"
+        if self.bit != DEFAULT_SDC_BIT:
+            out += f"#{self.bit}"
+        return out
+
+    def __str__(self) -> str:
+        return self.spec()
 
 
 @dataclass(frozen=True)
@@ -143,8 +217,15 @@ class FaultPlan:
         return cls((FaultEvent(STRAGGLER, rank, factor=factor),))
 
     @classmethod
+    def sdc(cls, rank: int, site: str = "delta", root_index: int = 0,
+            bit: int = DEFAULT_SDC_BIT) -> "FaultPlan":
+        """Flip one bit of ``site`` on ``rank`` (silent corruption)."""
+        return cls((FaultEvent(SDC, rank, site=site, root_index=root_index,
+                               bit=bit),))
+
+    @classmethod
     def random(cls, num_ranks: int, seed: int = 0, num_faults: int = 1,
-               kinds=_KINDS) -> "FaultPlan":
+               kinds=_RANDOM_KINDS) -> "FaultPlan":
         """A deterministic random plan over ``num_ranks`` ranks."""
         if num_ranks < 1:
             raise FaultSpecError("num_ranks must be >= 1")
@@ -162,6 +243,11 @@ class FaultPlan:
             elif kind == OOM:
                 events.append(FaultEvent(OOM, rank,
                                          times=int(rng.integers(1, 3))))
+            elif kind == SDC:
+                site = SDC_SITES[int(rng.integers(len(SDC_SITES)))]
+                events.append(FaultEvent(SDC, rank, site=site,
+                                         root_index=int(rng.integers(4)),
+                                         bit=int(rng.integers(48, 64))))
             else:
                 events.append(FaultEvent(STRAGGLER, rank,
                                          factor=float(1 + 3 * rng.random())))
@@ -176,9 +262,19 @@ class FaultPlan:
             fail:RANK[@WHERE][+AFTER_ROOTS]   fail-stop
             oom:RANK[xTIMES]                  transient OOM
             straggler:RANKxFACTOR             slowdown
+            sdc:RANK[@SITE][+ROOT_INDEX][#BIT]  silent bit-flip
+
+        ``SITE`` is one of :data:`SDC_SITES` (default ``delta``),
+        ``ROOT_INDEX`` the position within the rank's root partition
+        (default 0), ``BIT`` the flipped bit in [0, 63] (default 55).
 
         Examples: ``"fail:1@reduce"``, ``"fail:2+3"``, ``"oom:0x2"``,
-        ``"straggler:1x3.5;fail:0@bcast"``.
+        ``"straggler:1x3.5;fail:0@bcast"``, ``"sdc:1@sigma+2#62"``,
+        ``"sdc:0@reduce"``.
+
+        :meth:`FaultPlan.__str__` emits this grammar, and
+        ``FaultPlan.parse(str(plan)) == plan`` for every valid plan
+        (property-tested in ``tests/properties``).
         """
         events = []
         for raw in spec.split(";"):
@@ -217,30 +313,111 @@ class FaultPlan:
                     rank_s, factor_s = rest.split("x", 1)
                     events.append(FaultEvent(STRAGGLER, int(rank_s),
                                              factor=float(factor_s)))
+                elif kind == SDC:
+                    bit = DEFAULT_SDC_BIT
+                    if "#" in rest:
+                        rest, bit_s = rest.split("#", 1)
+                        bit = int(bit_s)
+                    root_index = 0
+                    if "+" in rest:
+                        rest, idx_s = rest.split("+", 1)
+                        root_index = int(idx_s)
+                    site = "delta"
+                    if "@" in rest:
+                        rest, site = rest.split("@", 1)
+                        site = site.strip()
+                        if site not in SDC_SITES:
+                            raise FaultSpecError(
+                                f"bad sdc entry {entry!r}: unknown site "
+                                f"{site!r}; known: {SDC_SITES}"
+                            )
+                    events.append(FaultEvent(SDC, int(rest), site=site,
+                                             root_index=root_index, bit=bit))
                 else:
-                    raise FaultSpecError(f"unknown fault kind {kind!r}")
+                    raise FaultSpecError(
+                        f"unknown fault kind {kind!r}; known: fail, oom, "
+                        f"straggler, sdc"
+                    )
             except FaultSpecError:
                 raise
             except ValueError as exc:
                 raise FaultSpecError(f"bad fault entry {entry!r}: {exc}")
         return cls(tuple(events))
 
+    def __str__(self) -> str:
+        """Canonical spec string; :meth:`parse` inverts it exactly."""
+        return ";".join(ev.spec() for ev in self.events)
+
     # ------------------------------------------------------------------
-    def start(self) -> "ActiveFaults":
-        """Fresh mutable runtime state for one run of this plan."""
-        return ActiveFaults(self)
+    def start(self, seed: int = 0) -> "ActiveFaults":
+        """Fresh mutable runtime state for one run of this plan.
+
+        ``seed`` salts the victim-element selection of ``sdc`` events
+        (the bit and site are in the event; *which* array element gets
+        flipped is drawn deterministically from this seed).
+        """
+        return ActiveFaults(self, seed=seed)
+
+
+def flip_bit(arr: np.ndarray, index: int, bit: int) -> None:
+    """Flip ``bit`` of the 64-bit word at ``arr[index]`` in place.
+
+    Works on any 8-byte dtype (``float64`` values are reinterpreted as
+    their IEEE-754 bit pattern — exactly what a radiation-induced SDC
+    does to a resident array).
+    """
+    if arr.dtype.itemsize != 8:
+        raise FaultSpecError(
+            f"can only flip bits of 8-byte elements, got {arr.dtype}"
+        )
+    if not 0 <= bit <= 63:
+        raise FaultSpecError("bit must be in [0, 63]")
+    view = arr.view(np.uint64)
+    view[index] ^= np.uint64(1) << np.uint64(bit)
+
+
+def apply_sdc(event: FaultEvent, arr: np.ndarray, seed: int = 0) -> int:
+    """Fire one ``sdc`` event against ``arr``; returns the victim index.
+
+    The victim element is drawn deterministically from
+    ``(seed, rank, site, root_index, bit)``, preferring elements whose
+    corruption is numerically meaningful (reached vertices for
+    ``dist``, nonzero entries elsewhere) so a flipped bit always
+    changes the value it strikes.
+    """
+    if event.kind != SDC:
+        raise FaultSpecError(f"apply_sdc needs an sdc event, got {event.kind}")
+    if arr.size == 0:
+        return -1
+    if event.site == "dist":
+        eligible = np.flatnonzero(arr >= 0)
+    else:
+        eligible = np.flatnonzero(arr != 0)
+    if eligible.size == 0:
+        eligible = np.arange(arr.size)
+    rng = np.random.default_rng(
+        [int(seed), event.rank, SDC_SITES.index(event.site),
+         event.root_index, event.bit]
+    )
+    index = int(eligible[int(rng.integers(eligible.size))])
+    flip_bit(arr, index, event.bit)
+    return index
 
 
 class ActiveFaults:
     """Runtime view of a :class:`FaultPlan`; events are consumed as they
     fire so retried operations see a fault-free world."""
 
-    def __init__(self, plan: FaultPlan):
+    def __init__(self, plan: FaultPlan, seed: int = 0):
         self.plan = plan
+        self.seed = int(seed)
         self._collective = {}   # (rank, where) -> count of pending fail-stops
         self._compute_fail = {}  # rank -> FaultEvent (first pending)
         self._oom = {}           # rank -> remaining attempts
         self._straggle = {}      # rank -> factor (persistent)
+        self._sdc_root = {}      # (rank, root_index) -> [events]
+        self._sdc_partial = {}   # rank -> [events]
+        self._sdc_reduce = []    # [events]
         for ev in plan.events:
             if ev.kind == FAIL_STOP and ev.where != "compute":
                 key = (ev.rank, ev.where)
@@ -249,6 +426,14 @@ class ActiveFaults:
                 self._compute_fail.setdefault(ev.rank, ev)
             elif ev.kind == OOM:
                 self._oom[ev.rank] = self._oom.get(ev.rank, 0) + ev.times
+            elif ev.kind == SDC:
+                if ev.site == "reduce":
+                    self._sdc_reduce.append(ev)
+                elif ev.site == "partial":
+                    self._sdc_partial.setdefault(ev.rank, []).append(ev)
+                else:
+                    key = (ev.rank, ev.root_index)
+                    self._sdc_root.setdefault(key, []).append(ev)
             else:
                 self._straggle[ev.rank] = max(
                     self._straggle.get(ev.rank, 1.0), ev.factor
@@ -293,6 +478,35 @@ class ActiveFaults:
             int(nbytes), 0, 0, what=f"injected fault on rank {rank}"
         )
 
+    # -- silent corruption ---------------------------------------------
+    def sdc_for_root(self, rank: int, root_pos: int) -> list:
+        """Consume (and return) every pending per-root ``sdc`` event
+        scheduled for ``rank``'s ``root_pos``-th root this unit."""
+        return self._sdc_root.pop((int(rank), int(root_pos)), [])
+
+    def sdc_for_partial(self, rank: int) -> list:
+        """Consume the pending partial-BC corruption events for ``rank``."""
+        return self._sdc_partial.pop(int(rank), [])
+
+    def sdc_for_reduce(self):
+        """Consume one pending in-flight reduce corruption event."""
+        return self._sdc_reduce.pop(0) if self._sdc_reduce else None
+
+    def sdc_pending_for(self, rank: int) -> bool:
+        """Whether any unfired ``sdc`` event targets ``rank``'s compute
+        (per-root or partial sites; reduce corruption is the comm's)."""
+        rank = int(rank)
+        return (any(key[0] == rank and events
+                    for key, events in self._sdc_root.items())
+                or bool(self._sdc_partial.get(rank)))
+
+    @property
+    def sdc_events_pending(self) -> int:
+        """How many ``sdc`` events have not fired yet."""
+        return (sum(len(v) for v in self._sdc_root.values())
+                + sum(len(v) for v in self._sdc_partial.values())
+                + len(self._sdc_reduce))
+
 
 class FaultyComm(SimComm):
     """A :class:`SimComm` whose collectives kill planned ranks.
@@ -310,6 +524,11 @@ class FaultyComm(SimComm):
         super().__init__(size, link=link, metrics=metrics)
         self.faults = faults
         self.live = set(range(self.size))
+        #: Record of every in-flight corruption this comm injected:
+        #: dicts with ``rank``/``site``/``index``/``bit``.  The driver
+        #: reads it to attribute a detected reduce corruption to its
+        #: victim rank.
+        self.corruptions: list = []
 
     def mark_dead(self, rank: int) -> None:
         """Remove a fail-stopped rank from the collective group."""
@@ -345,7 +564,31 @@ class FaultyComm(SimComm):
 
     def reduce(self, values, op=None, root: int = 0):
         self._maybe_fail("reduce")
+        values = self._maybe_corrupt_reduce(values)
         return super().reduce(values, op=op, root=root)
+
+    def _maybe_corrupt_reduce(self, values):
+        """Flip one bit of a planned victim rank's in-flight reduce
+        contribution.  The victim's array is copied first — the caller's
+        (checkpointed) buffer stays clean, exactly like a corruption on
+        the wire — so a detected-and-retried reduce sees healthy data
+        once the one-shot event is consumed."""
+        if self.faults is None:
+            return values
+        ev = self.faults.sdc_for_reduce()
+        if ev is None:
+            return values
+        values = list(values)
+        if not 0 <= ev.rank < len(values) or not isinstance(
+                values[ev.rank], np.ndarray):
+            return values
+        victim = np.array(values[ev.rank], copy=True)
+        index = apply_sdc(ev, victim, seed=self.faults.seed)
+        values[ev.rank] = victim
+        self.corruptions.append(
+            {"rank": ev.rank, "site": "reduce", "index": index, "bit": ev.bit}
+        )
+        return values
 
     def allreduce(self, values, op=None):
         self._maybe_fail("allreduce")
@@ -379,3 +622,16 @@ class FaultyDevice(Device):
                               roots_done=min(crash.after_roots, roots.size))
         if self.faults.oom_fires(self.rank):
             raise self.faults.injected_oom(self.rank, g.num_vertices * 8)
+
+    # -- silent corruption (consumed by Device.run_bc's SDC hooks) -----
+    def _sdc_pending(self) -> bool:
+        return self.faults.sdc_pending_for(self.rank)
+
+    def _sdc_events(self, root_pos: int) -> list:
+        return self.faults.sdc_for_root(self.rank, root_pos)
+
+    def _sdc_partial_events(self) -> list:
+        return self.faults.sdc_for_partial(self.rank)
+
+    def _sdc_seed(self) -> int:
+        return self.faults.seed

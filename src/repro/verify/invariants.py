@@ -1,0 +1,322 @@
+"""Cheap ABFT invariant checkers for one Brandes root.
+
+Brandes's two stages leave enough algebraic structure behind that a
+corrupted run can be caught without recomputing it (the classic
+algorithm-based-fault-tolerance move, applied per root because BC's
+per-root independence makes the root the natural quarantine unit):
+
+* **Range/structure (B1)** — ``dist`` values lie in ``{-1} U [0, n)``
+  with ``dist[root] == 0``; ``sigma`` is finite, positive exactly on
+  reached vertices (``sigma[root]`` consistent with its level scale);
+  ``delta`` is finite, non-negative, zero on unreached vertices and at
+  the root.
+* **BFS level consistency (B2)** — every reached non-root vertex has a
+  parent at depth ``d - 1``; on undirected graphs neighbouring depths
+  differ by at most 1 and no reached vertex has an unreached
+  neighbour.
+* **Sigma multiplicativity (B3)** — shortest-path counts satisfy
+  ``sigma[v] == sum(sigma[u] for u in pred(v))`` over tree edges
+  (skipped, and counted as skipped, when per-level sigma rescaling is
+  active — the identity then holds only across scale factors).
+* **Dependency checksum (B4)** — summing Brandes's accumulation over
+  all vertices telescopes into a distance identity:
+  ``sum(delta) == sum(dist[reached]) - (reached - 1)``
+  (each shortest s-t path contributes ``d(s,t) - 1`` interior hops).
+  One O(n) reduction cross-checks *both* stages: it moves if ``delta``
+  is corrupted and (through the right-hand side) if ``dist`` is.
+
+``paranoid`` policies run B2/B3 vectorised over every edge; ``sampled``
+policies spot-check a deterministic vertex sample.  B1 and B4 are O(n)
+and run for every checked root in both modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..bc.frontier import ForwardResult
+from ..observability.registry import NULL_REGISTRY
+from .policy import VerificationPolicy
+
+__all__ = ["Violation", "RootChecker", "expected_delta_checksum"]
+
+UNREACHED = -1
+
+#: Invariant identifiers carried on :class:`Violation` records.
+RANGE = "range"
+LEVEL = "level"
+SIGMA = "sigma"
+CHECKSUM = "checksum"
+PARTIAL = "partial"
+REDUCE = "reduce"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One detected invariant breach."""
+
+    invariant: str
+    root: int
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.invariant}@root {self.root}] {self.detail}"
+
+
+def expected_delta_checksum(distances: np.ndarray) -> float:
+    """Right-hand side of the B4 identity: ``sum(d) - (reached - 1)``
+    over reached vertices (0.0 when only the root is reached)."""
+    reached = distances >= 0
+    count = int(reached.sum())
+    if count <= 1:
+        return 0.0
+    return float(distances[reached].sum()) - (count - 1)
+
+
+class RootChecker:
+    """Applies a :class:`~repro.verify.VerificationPolicy`'s invariant
+    suite to per-root state; stateless apart from metrics counters."""
+
+    def __init__(self, policy: VerificationPolicy, metrics=None):
+        self.policy = policy
+        self.metrics = NULL_REGISTRY if metrics is None else metrics
+
+    # ------------------------------------------------------------------
+    def _close(self, got: float, expect: float) -> bool:
+        tol = self.policy.rtol * max(1.0, abs(expect)) + self.policy.atol
+        return abs(got - expect) <= tol
+
+    def _record(self, violations: list, invariant: str, root: int,
+                detail: str) -> None:
+        violations.append(Violation(invariant, int(root), detail))
+        self.metrics.inc("verify.violations", invariant=invariant)
+
+    # ------------------------------------------------------------------
+    def check_root(self, g: CSRGraph, fwd: ForwardResult,
+                   delta: np.ndarray) -> list:
+        """Run the per-root suite; returns the (possibly empty) list of
+        :class:`Violation` records."""
+        violations: list = []
+        self.metrics.inc("verify.checks", invariant="root")
+        self._check_ranges(g, fwd, delta, violations)
+        scales_active = (fwd.level_scales is not None
+                         and bool(np.any(fwd.level_scales != 1.0)))
+        if self.policy.paranoid:
+            self._check_structure_full(g, fwd, scales_active, violations)
+        else:
+            self._check_structure_sampled(g, fwd, scales_active, violations)
+        self._check_checksum(fwd, delta, violations)
+        return violations
+
+    # -- B1: ranges ----------------------------------------------------
+    def _check_ranges(self, g, fwd, delta, violations) -> None:
+        n = g.num_vertices
+        d, sigma, root = fwd.distances, fwd.sigma, fwd.source
+        bad = (d < UNREACHED) | (d >= n)
+        if np.any(bad):
+            v = int(np.flatnonzero(bad)[0])
+            self._record(violations, RANGE, root,
+                         f"dist[{v}] = {int(d[v])} outside {{-1}} U [0, {n})")
+        elif d[root] != 0:
+            self._record(violations, RANGE, root,
+                         f"dist[root] = {int(d[root])}, expected 0")
+        reached = d >= 0
+        if not np.all(np.isfinite(sigma)):
+            v = int(np.flatnonzero(~np.isfinite(sigma))[0])
+            self._record(violations, RANGE, root, f"sigma[{v}] is not finite")
+        else:
+            bad = reached & (sigma <= 0.0)
+            if np.any(bad):
+                v = int(np.flatnonzero(bad)[0])
+                self._record(violations, RANGE, root,
+                             f"sigma[{v}] = {sigma[v]!r} for reached vertex")
+            bad = ~reached & (sigma != 0.0)
+            if np.any(bad):
+                v = int(np.flatnonzero(bad)[0])
+                self._record(violations, RANGE, root,
+                             f"sigma[{v}] = {sigma[v]!r} for unreached vertex")
+        if not np.all(np.isfinite(delta)):
+            v = int(np.flatnonzero(~np.isfinite(delta))[0])
+            self._record(violations, RANGE, root, f"delta[{v}] is not finite")
+        else:
+            bad = delta < -self.policy.atol
+            if np.any(bad):
+                v = int(np.flatnonzero(bad)[0])
+                self._record(violations, RANGE, root,
+                             f"delta[{v}] = {delta[v]!r} is negative")
+            bad = ~reached & (np.abs(delta) > self.policy.atol)
+            if np.any(bad):
+                v = int(np.flatnonzero(bad)[0])
+                self._record(violations, RANGE, root,
+                             f"delta[{v}] = {delta[v]!r} for unreached vertex")
+            if abs(float(delta[root])) > self.policy.atol:
+                self._record(violations, RANGE, root,
+                             f"delta[root] = {delta[root]!r}, expected 0")
+
+    # -- B2 + B3, vectorised over every edge (paranoid) ----------------
+    def _check_structure_full(self, g, fwd, scales_active, violations) -> None:
+        n = g.num_vertices
+        d, sigma, root = fwd.distances, fwd.sigma, fwd.source
+        self.metrics.inc("verify.checks", invariant=LEVEL)
+        src = g.edge_sources()
+        adj = g.adj
+        src_reached = d[src] >= 0
+        if g.undirected:
+            # A reached vertex cannot have an unreached neighbour, and
+            # adjacent depths differ by at most one.
+            bad = src_reached & (d[adj] < 0)
+            if np.any(bad):
+                e = int(np.flatnonzero(bad)[0])
+                self._record(violations, LEVEL, root,
+                             f"reached vertex {int(src[e])} has unreached "
+                             f"neighbour {int(adj[e])}")
+            both = src_reached & (d[adj] >= 0)
+            gap = np.abs(d[src] - d[adj])
+            bad = both & (gap > 1)
+            if np.any(bad):
+                e = int(np.flatnonzero(bad)[0])
+                self._record(violations, LEVEL, root,
+                             f"neighbour depths {int(d[src[e]])} and "
+                             f"{int(d[adj[e]])} differ by more than 1 on "
+                             f"edge ({int(src[e])}, {int(adj[e])})")
+        # Parent existence: every reached non-root vertex is the head of
+        # at least one tree edge (works for directed graphs too — the
+        # CSR stores exactly the in-edges seen from each source u).
+        tree = src_reached & (d[adj] == d[src] + 1)
+        has_parent = np.zeros(n, dtype=bool)
+        has_parent[adj[tree]] = True
+        bad = (d >= 1) & ~has_parent
+        if np.any(bad):
+            v = int(np.flatnonzero(bad)[0])
+            self._record(violations, LEVEL, root,
+                         f"vertex {v} at depth {int(d[v])} has no parent "
+                         f"at depth {int(d[v]) - 1}")
+        # B3: sigma over tree edges.
+        if scales_active:
+            self.metrics.inc("verify.skipped", invariant=SIGMA)
+            return
+        self.metrics.inc("verify.checks", invariant=SIGMA)
+        expected = np.zeros(n, dtype=np.float64)
+        np.add.at(expected, adj[tree], sigma[src[tree]])
+        check = (d >= 1)
+        tol = self.policy.rtol * np.maximum(1.0, np.abs(expected)) \
+            + self.policy.atol
+        bad = check & (np.abs(sigma - expected) > tol)
+        if np.any(bad):
+            v = int(np.flatnonzero(bad)[0])
+            self._record(violations, SIGMA, root,
+                         f"sigma[{v}] = {sigma[v]!r}, predecessors sum to "
+                         f"{expected[v]!r}")
+        if sigma[root] != 0.0 and not self._close(float(sigma[root]), 1.0):
+            self._record(violations, SIGMA, root,
+                         f"sigma[root] = {sigma[root]!r}, expected 1")
+
+    # -- B2 + B3 on a deterministic vertex sample (sampled) ------------
+    def _check_structure_sampled(self, g, fwd, scales_active,
+                                 violations) -> None:
+        d, sigma, root = fwd.distances, fwd.sigma, fwd.source
+        reached = np.flatnonzero(d >= 1)
+        if reached.size == 0:
+            return
+        rng = np.random.default_rng([self.policy.seed, int(root)])
+        k = min(self.policy.sample_vertices, reached.size)
+        sample = rng.choice(reached, size=k, replace=False)
+        self.metrics.inc("verify.checks", invariant=LEVEL)
+        # Gather every sampled vertex's CSR row in one shot (the
+        # repeat/cumsum trick) so the sample cost is a fixed handful of
+        # vectorised ops, not a Python loop per vertex.
+        starts = g.indptr[sample]
+        counts = g.indptr[sample + 1] - starts
+        total = int(counts.sum())
+        base = np.repeat(np.cumsum(counts) - counts, counts)
+        flat = np.arange(total) - base + np.repeat(starts, counts)
+        owner = np.repeat(np.arange(sample.size), counts)
+        nbrs = g.adj[flat]
+        dn = d[nbrs]
+        dv = np.repeat(d[sample], counts)
+        if not g.undirected:
+            # Directed CSR rows are out-edges; the reachable cone
+            # invariant is d[successor] <= d[v] + 1 and reached.
+            bad = (dn < 0) | (dn > dv + 1)
+            if np.any(bad):
+                v = int(sample[owner[np.flatnonzero(bad)[0]]])
+                self._record(violations, LEVEL, root,
+                             f"vertex {v}: successor outside the "
+                             f"reachable cone")
+            return
+        bad = dn < 0
+        if np.any(bad):
+            v = int(sample[owner[np.flatnonzero(bad)[0]]])
+            self._record(violations, LEVEL, root,
+                         f"reached vertex {v} has an unreached neighbour")
+            return
+        bad = np.abs(dn - dv) > 1
+        if np.any(bad):
+            v = int(sample[owner[np.flatnonzero(bad)[0]]])
+            self._record(violations, LEVEL, root,
+                         f"vertex {v}: neighbour depth gap > 1")
+            return
+        tree = dn == dv - 1
+        has_parent = np.bincount(owner[tree], minlength=sample.size) > 0
+        if not np.all(has_parent):
+            v = int(sample[np.flatnonzero(~has_parent)[0]])
+            self._record(violations, LEVEL, root,
+                         f"vertex {v} at depth {int(d[v])} has no "
+                         f"parent at depth {int(d[v]) - 1}")
+            return
+        if scales_active:
+            self.metrics.inc("verify.skipped", invariant=SIGMA)
+            return
+        self.metrics.inc("verify.checks", invariant=SIGMA)
+        expect = np.bincount(owner[tree], weights=sigma[nbrs[tree]],
+                             minlength=sample.size)
+        tol = self.policy.rtol * np.maximum(1.0, np.abs(expect)) \
+            + self.policy.atol
+        bad = np.abs(sigma[sample] - expect) > tol
+        if np.any(bad):
+            i = int(np.flatnonzero(bad)[0])
+            v = int(sample[i])
+            self._record(violations, SIGMA, root,
+                         f"sigma[{v}] = {sigma[v]!r}, predecessors sum "
+                         f"to {expect[i]!r}")
+
+    # -- B4: dependency checksum ---------------------------------------
+    def _check_checksum(self, fwd, delta, violations) -> None:
+        self.metrics.inc("verify.checks", invariant=CHECKSUM)
+        expect = expected_delta_checksum(fwd.distances)
+        got = float(delta.sum())
+        if not self._close(got, expect):
+            self._record(violations, CHECKSUM, fwd.source,
+                         f"sum(delta) = {got!r}, distance identity "
+                         f"expects {expect!r}")
+
+    # -- unit / reduce checksums ---------------------------------------
+    def check_partial(self, partial: np.ndarray, expected_sum: float,
+                      rank: int = -1) -> list:
+        """Validate a rank's per-unit partial BC vector against the sum
+        of its verified per-root contributions."""
+        violations: list = []
+        self.metrics.inc("verify.checks", invariant=PARTIAL)
+        if not np.all(np.isfinite(partial)):
+            self._record(violations, PARTIAL, rank,
+                         "partial BC vector contains non-finite values")
+        elif not self._close(float(partial.sum()), expected_sum):
+            self._record(violations, PARTIAL, rank,
+                         f"sum(partial) = {float(partial.sum())!r}, "
+                         f"committed roots sum to {expected_sum!r}")
+        return violations
+
+    def reduce_ok(self, total: np.ndarray, expected_sum: float) -> bool:
+        """Checksummed reduce: does the reduced vector's sum match the
+        independently-summed per-rank checksums?"""
+        self.metrics.inc("verify.checks", invariant=REDUCE)
+        if not np.all(np.isfinite(total)):
+            self.metrics.inc("verify.violations", invariant=REDUCE)
+            return False
+        if not self._close(float(total.sum()), expected_sum):
+            self.metrics.inc("verify.violations", invariant=REDUCE)
+            return False
+        return True

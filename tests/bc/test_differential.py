@@ -53,6 +53,29 @@ def _device_bc(strategy):
     return run
 
 
+def _dynamic_bc(g):
+    """Exercise ``bc/dynamic.py``: round-trip an edge update (delete
+    then reinsert, or insert then delete on edgeless graphs) starting
+    from the exact BC vector.  The incremental affected-roots updates
+    must land back exactly on the full-Brandes values."""
+    from repro.bc import dynamic
+
+    if not g.undirected:
+        pytest.skip("bc/dynamic updates are undirected-only")
+    bc = betweenness_centrality(g)
+    if g.num_vertices < 2:
+        return bc
+    src = g.edge_sources()
+    if src.size:
+        u, v = int(src[0]), int(g.adj[0])
+        g1, bc1, _ = dynamic.delete_edge(g, bc, u, v)
+        _, bc2, _ = dynamic.insert_edge(g1, bc1, u, v)
+        return bc2
+    g1, bc1, _ = dynamic.insert_edge(g, bc, 0, 1)
+    _, bc2, _ = dynamic.delete_edge(g1, bc1, 0, 1)
+    return bc2
+
+
 #: Implementation under test -> callable(graph) -> BC vector.
 ALGORITHMS = {
     "engine": betweenness_centrality,
@@ -66,6 +89,7 @@ ALGORITHMS = {
     "device_gpu_fan": _device_bc("gpu-fan"),
     "device_hybrid": _device_bc("hybrid"),
     "device_sampling": _device_bc("sampling"),
+    "dynamic": _dynamic_bc,
 }
 
 #: Graph case -> zero-arg builder.  One representative per generator

@@ -8,9 +8,11 @@ import pytest
 from repro.errors import GraphFormatError
 from repro.graph.io import (
     load_graph,
+    read_csr_npz,
     read_dimacs_metis,
     read_matrix_market,
     read_snap_edgelist,
+    write_csr_npz,
     write_dimacs_metis,
     write_matrix_market,
     write_snap_edgelist,
@@ -45,6 +47,14 @@ class TestSnap:
         g = read_snap_edgelist(io.StringIO("0 1\n"), undirected=False)
         assert g.degree(1) == 0
 
+    def test_negative_id_reports_line(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1\n2 -3\n")
+        with pytest.raises(GraphFormatError) as err:
+            read_snap_edgelist(str(path))
+        msg = str(err.value)
+        assert "bad.txt" in msg and "line 2" in msg
+
 
 class TestMetis:
     def test_read_basic(self):
@@ -70,6 +80,23 @@ class TestMetis:
     def test_vertex_out_of_range(self):
         with pytest.raises(GraphFormatError):
             read_dimacs_metis(io.StringIO("2 1\n3\n1\n"))
+
+    def test_out_of_range_reports_line(self, tmp_path):
+        path = tmp_path / "bad.graph"
+        path.write_text("2 1\n2\n7\n")
+        with pytest.raises(GraphFormatError) as err:
+            read_dimacs_metis(str(path))
+        msg = str(err.value)
+        assert "bad.graph" in msg and "line 3" in msg
+
+    def test_non_integer_header(self):
+        with pytest.raises(GraphFormatError) as err:
+            read_dimacs_metis(io.StringIO("two 1\n"))
+        assert "line 1" in str(err.value)
+
+    def test_negative_header_counts(self):
+        with pytest.raises(GraphFormatError):
+            read_dimacs_metis(io.StringIO("-2 1\n"))
 
     def test_too_many_rows(self):
         with pytest.raises(GraphFormatError):
@@ -114,6 +141,71 @@ class TestMatrixMarket:
         write_matrix_market(fig1, str(path))
         g2 = read_matrix_market(str(path))
         assert np.array_equal(g2.adj, fig1.adj)
+
+    def test_entry_out_of_declared_dims(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text("%%MatrixMarket matrix coordinate pattern symmetric\n"
+                        "3 3 2\n2 1\n9 2\n")
+        with pytest.raises(GraphFormatError) as err:
+            read_matrix_market(str(path))
+        msg = str(err.value)
+        assert "bad.mtx" in msg and "line 4" in msg
+
+    def test_entry_count_mismatch(self):
+        text = ("%%MatrixMarket matrix coordinate pattern symmetric\n"
+                "3 3 5\n2 1\n3 2\n")
+        with pytest.raises(GraphFormatError) as err:
+            read_matrix_market(io.StringIO(text))
+        assert "5" in str(err.value)
+
+    def test_non_integer_entry(self):
+        text = ("%%MatrixMarket matrix coordinate pattern symmetric\n"
+                "3 3 1\nx y\n")
+        with pytest.raises(GraphFormatError) as err:
+            read_matrix_market(io.StringIO(text))
+        assert "line 3" in str(err.value)
+
+    def test_negative_size_line(self):
+        text = "%%MatrixMarket matrix coordinate pattern symmetric\n-3 3 1\n"
+        with pytest.raises(GraphFormatError):
+            read_matrix_market(io.StringIO(text))
+
+
+class TestCsrNpz:
+    def test_roundtrip_via_load_graph(self, fig1, tmp_path):
+        path = tmp_path / "g.npz"
+        write_csr_npz(fig1, str(path))
+        g2 = load_graph(str(path))
+        assert np.array_equal(g2.indptr, fig1.indptr)
+        assert np.array_equal(g2.adj, fig1.adj)
+        assert g2.undirected == fig1.undirected
+
+    def test_missing_arrays(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        np.savez(path, nothing=np.arange(3))
+        with pytest.raises(GraphFormatError) as err:
+            read_csr_npz(str(path))
+        assert "empty.npz" in str(err.value)
+
+    def test_non_monotone_indptr(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, indptr=np.array([0, 3, 1]), adj=np.array([1, 0, 0]))
+        with pytest.raises(GraphFormatError) as err:
+            read_csr_npz(str(path))
+        assert "bad.npz" in str(err.value)
+
+    def test_adj_out_of_range(self, tmp_path):
+        path = tmp_path / "oob.npz"
+        np.savez(path, indptr=np.array([0, 1, 2]), adj=np.array([1, 9]))
+        with pytest.raises(GraphFormatError) as err:
+            read_csr_npz(str(path))
+        assert "oob.npz" in str(err.value)
+
+    def test_non_integer_dtype(self, tmp_path):
+        path = tmp_path / "float.npz"
+        np.savez(path, indptr=np.array([0.0, 1.0]), adj=np.array([0.5]))
+        with pytest.raises(GraphFormatError):
+            read_csr_npz(str(path))
 
 
 class TestLoadGraph:

@@ -61,3 +61,48 @@ class TestResilienceCommand:
                      "--max-retries", "1"]) == 0
         out = capsys.readouterr().out
         assert "DEGRADED" in out
+
+
+@pytest.mark.sdc
+class TestVerifyCommand:
+    def test_parser_accepts_verify_options(self):
+        args = build_parser().parse_args(
+            ["verify", "--faults", "sdc:0@sigma+1#62", "--verify",
+             "paranoid", "--ranks", "3"]
+        )
+        assert args.experiment == "verify"
+        assert args.faults == "sdc:0@sigma+1#62"
+        assert args.verify == "paranoid"
+
+    def test_default_run_repairs(self, capsys):
+        assert main(["verify", "--ranks", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "corruption detected and repaired" in out
+        assert "paranoid" in out
+
+    def test_verify_off_flags_undetected_corruption(self, capsys):
+        assert main(["verify", "--verify", "off", "--ranks", "3"]) == 0
+        assert "UNDETECTED CORRUPTION" in capsys.readouterr().out
+
+    def test_report_written(self, tmp_path, capsys):
+        out_path = tmp_path / "nested" / "dir" / "report.json"
+        assert main(["verify", "--ranks", "3", "--out", str(out_path)]) == 0
+        import json
+
+        report = json.loads(out_path.read_text())
+        assert report["schema"] == "repro.verify/v1"
+        assert report["corruption_detected"] >= 1
+
+
+class TestOutputErrors:
+    def test_metrics_out_creates_parent_dirs(self, tmp_path):
+        metrics = tmp_path / "a" / "b" / "metrics.json"
+        assert main(["figure1", "--metrics-out", str(metrics)]) == 0
+        assert metrics.exists()
+
+    def test_unwritable_path_is_one_line_error(self, capsys):
+        rc = main(["figure1", "--metrics-out", "/proc/nope/metrics.json"])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert err.startswith("error: cannot write /proc/nope/metrics.json")

@@ -1,0 +1,97 @@
+"""Property tests for the fault-plan spec grammar.
+
+``FaultPlan.__str__`` emits the CLI spec grammar and
+``FaultPlan.parse`` inverts it; the docstring promises
+``parse(str(plan)) == plan`` for every valid plan.  Hypothesis builds
+arbitrary plans over all four fault kinds (including every sdc
+site/root-index/bit combination) and checks the round trip.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import pytest
+
+from repro.errors import FaultSpecError
+from repro.resilience import (
+    COLLECTIVES,
+    FAIL_STOP,
+    OOM,
+    SDC,
+    SDC_SITES,
+    STRAGGLER,
+    FaultEvent,
+    FaultPlan,
+)
+
+ranks = st.integers(min_value=0, max_value=63)
+
+fail_stop_events = st.builds(
+    FaultEvent,
+    kind=st.just(FAIL_STOP),
+    rank=ranks,
+    where=st.sampled_from(("compute",) + COLLECTIVES),
+    after_roots=st.integers(min_value=0, max_value=16),
+)
+
+oom_events = st.builds(
+    FaultEvent,
+    kind=st.just(OOM),
+    rank=ranks,
+    times=st.integers(min_value=1, max_value=9),
+)
+
+# Factors round-trip through repr(), so any finite float >= 1 works.
+straggler_events = st.builds(
+    FaultEvent,
+    kind=st.just(STRAGGLER),
+    rank=ranks,
+    factor=st.floats(min_value=1.0, max_value=64.0,
+                     allow_nan=False, allow_infinity=False),
+)
+
+sdc_events = st.builds(
+    FaultEvent,
+    kind=st.just(SDC),
+    rank=ranks,
+    site=st.sampled_from(SDC_SITES),
+    root_index=st.integers(min_value=0, max_value=16),
+    bit=st.integers(min_value=0, max_value=63),
+)
+
+events = st.one_of(fail_stop_events, oom_events, straggler_events,
+                   sdc_events)
+plans = st.lists(events, max_size=8).map(lambda evs: FaultPlan(tuple(evs)))
+
+
+@given(plans)
+@settings(max_examples=200, deadline=None)
+def test_parse_inverts_str(plan):
+    assert FaultPlan.parse(str(plan)) == plan
+
+
+@given(events)
+@settings(max_examples=100, deadline=None)
+def test_event_spec_round_trips_alone(ev):
+    plan = FaultPlan((ev,))
+    (back,) = FaultPlan.parse(str(plan)).events
+    assert back == ev
+
+
+@pytest.mark.parametrize("spec", [
+    "meteor:0",                 # unknown kind
+    "sdc:0@firmware",           # unknown sdc site
+    "sdc:0#64",                 # bit out of range
+    "sdc:-1",                   # negative rank
+    "sdc:0+nope",               # non-integer root index
+    "oom:0@reduce",             # oom only fires at compute
+])
+def test_bad_specs_raise(spec):
+    with pytest.raises(FaultSpecError):
+        FaultPlan.parse(spec)
+
+
+def test_sdc_site_error_lists_known_sites():
+    with pytest.raises(FaultSpecError) as err:
+        FaultPlan.parse("sdc:0@firmware")
+    for site in SDC_SITES:
+        assert site in str(err.value)

@@ -6,9 +6,11 @@ import pytest
 
 import repro.bc.api
 import repro.bc.hybrid
+import repro.verify
 
 
-@pytest.mark.parametrize("module", [repro.bc.api, repro.bc.hybrid])
+@pytest.mark.parametrize("module", [repro.bc.api, repro.bc.hybrid,
+                                    repro.verify])
 def test_module_doctests(module):
     result = doctest.testmod(module, verbose=False)
     assert result.attempted > 0, f"{module.__name__} lost its doctests"

@@ -14,6 +14,7 @@ from repro.errors import (
     RankFailure,
     ReproError,
     RetryExhaustedError,
+    SilentCorruptionError,
     StrategyError,
     WorkerPoolError,
 )
@@ -29,6 +30,7 @@ ALL_ERRORS = [
     FaultSpecError,
     RankFailure,
     RetryExhaustedError,
+    SilentCorruptionError,
     WorkerPoolError,
 ]
 
@@ -63,6 +65,20 @@ class TestHierarchy:
         assert e.pending_roots == 12
         assert e.retries == 3
         assert "12" in str(e)
+
+    def test_silent_corruption_carries_context(self):
+        from repro.verify import Violation
+
+        vs = [Violation("checksum", 4, "sum mismatch"),
+              Violation("sigma", 4, "bad count"),
+              Violation("range", 4, "negative delta"),
+              Violation("level", 4, "depth gap")]
+        e = SilentCorruptionError(vs, root=4)
+        assert e.root == 4
+        assert len(e.violations) == 4
+        assert "root 4" in str(e)
+        assert "checksum" in str(e)
+        assert "+1 more" in str(e)
 
     def test_catch_all(self, fig1):
         from repro.gpusim.device import Device

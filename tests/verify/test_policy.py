@@ -1,0 +1,80 @@
+"""Unit tests for the verification policy (mode/sampling knobs)."""
+
+import pytest
+
+from repro.errors import FaultSpecError
+from repro.verify import MODES, OFF, PARANOID, SAMPLED, VerificationPolicy
+
+pytestmark = pytest.mark.sdc
+
+
+class TestConstruction:
+    def test_defaults_off(self):
+        p = VerificationPolicy()
+        assert p.mode == OFF
+        assert not p.enabled
+        assert not p.paranoid
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_modes(self, mode):
+        p = VerificationPolicy(mode)
+        assert p.enabled == (mode != OFF)
+        assert p.paranoid == (mode == PARANOID)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(mode="meticulous"),
+        dict(mode=SAMPLED, root_period=0),
+        dict(mode=SAMPLED, sample_vertices=0),
+        dict(mode=PARANOID, rtol=-1.0),
+        dict(mode=PARANOID, atol=-1.0),
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(FaultSpecError):
+            VerificationPolicy(**kwargs)
+
+
+class TestCoerce:
+    def test_none_is_off(self):
+        assert VerificationPolicy.coerce(None).mode == OFF
+
+    def test_string(self):
+        assert VerificationPolicy.coerce(" Paranoid ").mode == PARANOID
+
+    def test_passthrough(self):
+        p = VerificationPolicy(SAMPLED, root_period=2)
+        assert VerificationPolicy.coerce(p) is p
+
+    def test_bad_type(self):
+        with pytest.raises(FaultSpecError):
+            VerificationPolicy.coerce(42)
+
+    def test_bad_string(self):
+        with pytest.raises(FaultSpecError):
+            VerificationPolicy.coerce("everything")
+
+
+class TestChecksRoot:
+    def test_off_checks_nothing(self):
+        p = VerificationPolicy(OFF)
+        assert not any(p.checks_root(r) for r in range(100))
+
+    def test_paranoid_checks_everything(self):
+        p = VerificationPolicy(PARANOID)
+        assert all(p.checks_root(r) for r in range(100))
+
+    def test_sampled_is_deterministic(self):
+        p = VerificationPolicy(SAMPLED, root_period=4, seed=3)
+        first = [p.checks_root(r) for r in range(256)]
+        assert first == [p.checks_root(r) for r in range(256)]
+
+    def test_sampled_hits_roughly_one_in_period(self):
+        p = VerificationPolicy(SAMPLED, root_period=4)
+        hits = sum(p.checks_root(r) for r in range(4096))
+        assert 0.15 < hits / 4096 < 0.35
+
+    def test_seed_changes_selection(self):
+        a = VerificationPolicy(SAMPLED, root_period=4, seed=0)
+        b = VerificationPolicy(SAMPLED, root_period=4, seed=1)
+        sel_a = [a.checks_root(r) for r in range(256)]
+        sel_b = [b.checks_root(r) for r in range(256)]
+        assert sel_a != sel_b
