@@ -1,21 +1,29 @@
 """Baseline benchmark harness: the first point on the repo's perf trajectory.
 
-Runs every device strategy over a sample of Table II datasets (shrunk
-by ``--scale-factor``) and writes ``BENCH_baseline.json``.  The body of
-the document is *simulated* and therefore deterministic — makespan
-cycles, simulated seconds, MTEPS, per-level totals — so future PRs that
-claim a perf win (sharding, batching, caching) can diff against it
-exactly; real wall-clock measurements of the Python harness itself are
-segregated under the single ``timing`` key, following the
-``repro.observability`` export convention.
+Thin wrapper over :func:`repro.bench.run_bench_grid` — the same grid the
+``repro bench run`` CLI executes — that writes ``BENCH_baseline.json``.
+The body of the document is *simulated* and therefore deterministic —
+makespan cycles, simulated seconds, MTEPS, per-level totals — so future
+PRs that claim a perf win (sharding, batching, caching) diff against it
+exactly via ``repro bench diff --against BENCH_baseline.json``; real
+wall-clock measurements of the Python harness itself are segregated
+under the single ``timing`` key, following the ``repro.observability``
+export convention.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/baseline.py --out BENCH_baseline.json
 
 Regenerate (same flags, same seed) whenever the cost model or the
-engine changes behaviour on purpose; CI's profile-smoke job and the
-observability tests keep the schema honest.
+engine changes behaviour on purpose; CI's ``perf-regression`` job diffs
+every push against the committed file and fails on regression.
+
+``--n-samps`` sizes the sampling strategy's classification phase and
+defaults to half of ``--roots`` (see :func:`repro.bench.default_n_samps`)
+so Algorithm 5's chosen method actually executes a non-empty phase 2 —
+with the historical 512-sample default every root was consumed by
+classification and ``sampling_chose_edge_parallel`` described a choice
+that never ran.
 """
 
 from __future__ import annotations
@@ -25,79 +33,17 @@ import json
 import sys
 import time
 
-import numpy as np
+from repro.bench import BENCH_SCHEMA, DATASET_NAMES, STRATEGY_NAMES, run_bench_grid
 
-from repro.graph.generators import make_dataset
-from repro.gpusim import GTX_TITAN, Device
-from repro.observability import MetricsRegistry
-
-BENCH_SCHEMA = "repro.bench/v1"
-
-#: One dataset per structural class, small enough for laptop CI.
-DATASET_NAMES = (
-    "caidaRouterLevel",   # scale-free
-    "delaunay_n20",       # mesh
-    "kron_g500-logn20",   # scale-free, isolated vertices
-    "luxembourg.osm",     # road, high diameter
-    "smallworld",         # small world
-)
-
-#: Strategies benchmarked (gpu-fan excluded: its O(n^2) predecessor
-#: matrix is the Figure 5 failure mode, not a baseline to track).
-STRATEGY_NAMES = (
-    "work-efficient",
-    "edge-parallel",
-    "vertex-parallel",
-    "hybrid",
-    "sampling",
-)
+__all__ = ["BENCH_SCHEMA", "DATASET_NAMES", "STRATEGY_NAMES",
+           "run_baseline", "main"]
 
 
-def run_baseline(scale_factor: int = 1024, roots: int = 16, seed: int = 0):
+def run_baseline(scale_factor: int = 1024, roots: int = 16, seed: int = 0,
+                 n_samps: int | None = None):
     """Return ``(document, wall_per_run)`` for the baseline sweep."""
-    device = Device(GTX_TITAN)
-    results = []
-    wall_per_run = {}
-    for name in DATASET_NAMES:
-        g = make_dataset(name, scale_factor=scale_factor, seed=seed)
-        rng = np.random.default_rng(seed)
-        sample = np.sort(rng.choice(g.num_vertices,
-                                    size=min(roots, g.num_vertices),
-                                    replace=False))
-        for strategy in STRATEGY_NAMES:
-            metrics = MetricsRegistry()
-            t0 = time.perf_counter()
-            run = device.run_bc(g, strategy=strategy, roots=sample,
-                                metrics=metrics)
-            wall = time.perf_counter() - t0
-            wall_per_run[f"{name}/{strategy}"] = wall
-            levels = sum(len(rt.levels) for rt in run.trace.roots)
-            results.append({
-                "dataset": name,
-                "strategy": strategy,
-                "num_vertices": int(g.num_vertices),
-                "num_edges": int(g.num_edges),
-                "num_roots": int(run.num_roots),
-                "makespan_cycles": float(run.cycles),
-                "sim_seconds": float(run.seconds),
-                "mteps": float(run.mteps()),
-                "extrapolated_mteps": float(run.extrapolated_mteps()),
-                "levels_traced": int(levels),
-                "bytes_allocated": int(sum(run.memory_report.values())),
-                "sampling_chose_edge_parallel":
-                    run.sampling_chose_edge_parallel,
-            })
-    doc = {
-        "schema": BENCH_SCHEMA,
-        "config": {
-            "device": GTX_TITAN.name,
-            "scale_factor": int(scale_factor),
-            "roots": int(roots),
-            "seed": int(seed),
-        },
-        "results": results,
-    }
-    return doc, wall_per_run
+    return run_bench_grid(scale_factor=scale_factor, roots=roots, seed=seed,
+                          n_samps=n_samps)
 
 
 def main(argv=None) -> int:
@@ -106,11 +52,14 @@ def main(argv=None) -> int:
     parser.add_argument("--scale-factor", type=int, default=1024)
     parser.add_argument("--roots", type=int, default=16)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--n-samps", type=int, default=None,
+                        help="sampling-phase size (default: half of --roots)")
     args = parser.parse_args(argv)
 
     t0 = time.perf_counter()
     doc, wall_per_run = run_baseline(scale_factor=args.scale_factor,
-                                     roots=args.roots, seed=args.seed)
+                                     roots=args.roots, seed=args.seed,
+                                     n_samps=args.n_samps)
     doc["timing"] = {
         "wall_seconds": time.perf_counter() - t0,
         "per_run": wall_per_run,

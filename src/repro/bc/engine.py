@@ -63,8 +63,10 @@ def run_root(
     metrics:
         Optional :class:`~repro.observability.MetricsRegistry`; records
         per-level ``engine.*`` counters (frontier/edge counts, cycles,
-        strategy chosen per level).  Defaults to the no-op registry, so
-        uninstrumented runs pay nothing.
+        strategy chosen per level) and ``decision.*`` trace events (the
+        policy's per-iteration strategy selections with their full α/β
+        inputs, consumed by :mod:`repro.observability.trace`).  Defaults
+        to the no-op registry, so uninstrumented runs pay nothing.
     observer:
         Optional hook with ``after_forward(fwd)`` and
         ``after_accumulation(fwd, delta)`` methods, called after the
@@ -111,7 +113,12 @@ def run_root(
             return costs.gpu_fan_backward(m_dir, ef, device_chunk)
         raise StrategyError(f"unknown strategy {strategy!r}")
 
-    state = {"strategy": policy.initial()}
+    initial = policy.initial_decision()
+    state = {"strategy": initial.strategy}
+    metrics.record("decision.initial", root=int(source),
+                   applies_to_depth=0, strategy=initial.strategy,
+                   policy=initial.policy, rule=initial.rule,
+                   **initial.inputs)
 
     def on_forward_level(depth: int, frontier: np.ndarray, q_next_len: int) -> None:
         strategy = state["strategy"]
@@ -126,9 +133,17 @@ def run_root(
         metrics.inc("engine.cycles", cycles, stage="forward", strategy=strategy)
         metrics.observe("engine.frontier_size", frontier.size, stage="forward")
         strategy_by_depth[depth] = strategy
-        state["strategy"] = policy.next_strategy(
-            strategy, int(frontier.size), q_next_len
-        )
+        decision = policy.decide(strategy, int(frontier.size), int(q_next_len))
+        if q_next_len > 0:
+            # The decision taken after level `depth` governs level
+            # `depth + 1`; an empty next frontier ends the sweep, so
+            # that final (never-applied) evaluation is not recorded.
+            metrics.record("decision.step", root=int(source), depth=int(depth),
+                           applies_to_depth=int(depth) + 1,
+                           previous=strategy, strategy=decision.strategy,
+                           policy=decision.policy, rule=decision.rule,
+                           **decision.inputs)
+        state["strategy"] = decision.strategy
 
     fwd = forward_sweep(g, source, on_level=on_forward_level)
     if observer is not None:

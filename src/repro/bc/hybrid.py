@@ -11,9 +11,10 @@ the pseudocode for testability.
 
 from __future__ import annotations
 
-from .policies import EDGE_PARALLEL, WORK_EFFICIENT, HybridPolicy
+from .policies import EDGE_PARALLEL, WORK_EFFICIENT, Decision, HybridPolicy
 
-__all__ = ["DEFAULT_ALPHA", "DEFAULT_BETA", "select_strategy", "HybridPolicy"]
+__all__ = ["DEFAULT_ALPHA", "DEFAULT_BETA", "select_strategy",
+           "explain_strategy", "HybridPolicy"]
 
 #: Paper Section IV-B: "we found the values of 768 and 512 were the best
 #: choices for alpha and beta".
@@ -41,3 +42,23 @@ def select_strategy(
     if q_change <= alpha:
         return current
     return EDGE_PARALLEL if int(q_next_len) > beta else WORK_EFFICIENT
+
+
+def explain_strategy(
+    current: str,
+    q_curr_len: int,
+    q_next_len: int,
+    alpha: int = DEFAULT_ALPHA,
+    beta: int = DEFAULT_BETA,
+) -> Decision:
+    """Algorithm 4 with its audit trail: the same selection as
+    :func:`select_strategy`, returned as a
+    :class:`~repro.bc.policies.Decision` whose ``rule`` spells out the
+    exact α/β comparison taken.
+
+    >>> explain_strategy("work-efficient", 10, 2000).rule
+    '|Δfrontier|=1990 > alpha=768 and q_next=2000 > beta=512: edge-parallel'
+    """
+    return HybridPolicy(alpha=alpha, beta=beta).decide(
+        current, q_curr_len, q_next_len
+    )

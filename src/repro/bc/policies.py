@@ -6,11 +6,18 @@ vertex-parallel thread assignment.  The engine asks for an initial
 strategy, then calls :meth:`next_strategy` after each completed level
 with the current and next frontier sizes — exactly the information
 Algorithm 4 uses.
+
+Every decision is also available as an auditable record: :meth:`decide`
+returns a :class:`Decision` carrying the chosen strategy *plus* the
+exact inputs and threshold comparison that produced it — what the
+decision-trace subsystem (``repro.trace/v1``) serialises so a run can
+later answer "why edge-parallel at depth 3?".
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
 
 from ..errors import StrategyError
 
@@ -19,6 +26,7 @@ __all__ = [
     "EDGE_PARALLEL",
     "VERTEX_PARALLEL",
     "GPU_FAN",
+    "Decision",
     "Policy",
     "FixedPolicy",
     "HybridPolicy",
@@ -33,21 +41,52 @@ GPU_FAN = "gpu-fan"
 _KNOWN = {WORK_EFFICIENT, EDGE_PARALLEL, VERTEX_PARALLEL, GPU_FAN}
 
 
+@dataclass(frozen=True)
+class Decision:
+    """One strategy decision with its full audit context.
+
+    ``inputs`` holds every quantity the rule compared (frontier
+    lengths, thresholds); ``rule`` spells the comparison out in the
+    exact form the ``repro trace explain`` audit prints.
+    """
+
+    strategy: str
+    policy: str                      # "fixed" | "hybrid" | "frontier-guard"
+    rule: str
+    inputs: dict = field(default_factory=dict)
+
+
 class Policy(ABC):
     """Strategy-selection protocol used by the per-root engine."""
+
+    #: Trace label for this policy's decisions.
+    kind: str = "policy"
 
     @abstractmethod
     def initial(self) -> str:
         """Strategy for the first iteration (frontier = the root)."""
 
     @abstractmethod
+    def decide(self, current: str, q_curr_len: int, q_next_len: int) -> Decision:
+        """The next iteration's strategy as an auditable
+        :class:`Decision`, given the just-finished level's frontier
+        length and the upcoming frontier length."""
+
+    def initial_decision(self) -> Decision:
+        """The first iteration's strategy as an auditable record."""
+        return Decision(strategy=self.initial(), policy=self.kind,
+                        rule=f"initial: {self.initial()}")
+
     def next_strategy(self, current: str, q_curr_len: int, q_next_len: int) -> str:
-        """Strategy for the next iteration, given the just-finished
-        level's frontier length and the upcoming frontier length."""
+        """Strategy for the next iteration (the :class:`Decision`'s
+        ``strategy`` field, for callers that don't need the audit)."""
+        return self.decide(current, q_curr_len, q_next_len).strategy
 
 
 class FixedPolicy(Policy):
     """Always use one strategy (the non-adaptive baselines)."""
+
+    kind = "fixed"
 
     def __init__(self, strategy: str):
         if strategy not in _KNOWN:
@@ -57,8 +96,12 @@ class FixedPolicy(Policy):
     def initial(self) -> str:
         return self.strategy
 
-    def next_strategy(self, current: str, q_curr_len: int, q_next_len: int) -> str:
-        return self.strategy
+    def decide(self, current: str, q_curr_len: int, q_next_len: int) -> Decision:
+        return Decision(
+            strategy=self.strategy, policy=self.kind,
+            rule=f"fixed: {self.strategy}",
+            inputs={"q_curr": int(q_curr_len), "q_next": int(q_next_len)},
+        )
 
 
 class HybridPolicy(Policy):
@@ -73,6 +116,8 @@ class HybridPolicy(Policy):
     more (>10x) than a mistaken work-efficient one (2.2x).
     """
 
+    kind = "hybrid"
+
     def __init__(self, alpha: int = 768, beta: int = 512):
         if alpha < 0 or beta < 0:
             raise StrategyError("alpha and beta must be non-negative")
@@ -82,11 +127,37 @@ class HybridPolicy(Policy):
     def initial(self) -> str:
         return WORK_EFFICIENT
 
-    def next_strategy(self, current: str, q_curr_len: int, q_next_len: int) -> str:
-        q_change = abs(int(q_next_len) - int(q_curr_len))
+    def initial_decision(self) -> Decision:
+        return Decision(
+            strategy=WORK_EFFICIENT, policy=self.kind,
+            rule="initial: work-efficient (a mistaken edge-parallel start "
+                 "costs >10x, a mistaken work-efficient one 2.2x)",
+            inputs={"alpha": self.alpha, "beta": self.beta},
+        )
+
+    def decide(self, current: str, q_curr_len: int, q_next_len: int) -> Decision:
+        q_curr, q_next = int(q_curr_len), int(q_next_len)
+        q_change = abs(q_next - q_curr)
+        inputs = {"q_curr": q_curr, "q_next": q_next,
+                  "delta_frontier": q_change,
+                  "alpha": self.alpha, "beta": self.beta}
         if q_change <= self.alpha:
-            return current
-        return EDGE_PARALLEL if q_next_len > self.beta else WORK_EFFICIENT
+            return Decision(
+                strategy=current, policy=self.kind, inputs=inputs,
+                rule=f"|Δfrontier|={q_change} <= alpha={self.alpha}: "
+                     f"keep {current}",
+            )
+        if q_next > self.beta:
+            return Decision(
+                strategy=EDGE_PARALLEL, policy=self.kind, inputs=inputs,
+                rule=f"|Δfrontier|={q_change} > alpha={self.alpha} and "
+                     f"q_next={q_next} > beta={self.beta}: edge-parallel",
+            )
+        return Decision(
+            strategy=WORK_EFFICIENT, policy=self.kind, inputs=inputs,
+            rule=f"|Δfrontier|={q_change} > alpha={self.alpha} and "
+                 f"q_next={q_next} <= beta={self.beta}: work-efficient",
+        )
 
 
 class FrontierGuardPolicy(Policy):
@@ -99,6 +170,8 @@ class FrontierGuardPolicy(Policy):
     the size or structure of the graph".
     """
 
+    kind = "frontier-guard"
+
     def __init__(self, min_frontier: int = 512):
         if min_frontier < 0:
             raise StrategyError("min_frontier must be non-negative")
@@ -107,5 +180,26 @@ class FrontierGuardPolicy(Policy):
     def initial(self) -> str:
         return WORK_EFFICIENT  # the first frontier is just the root
 
-    def next_strategy(self, current: str, q_curr_len: int, q_next_len: int) -> str:
-        return EDGE_PARALLEL if q_next_len >= self.min_frontier else WORK_EFFICIENT
+    def initial_decision(self) -> Decision:
+        return Decision(
+            strategy=WORK_EFFICIENT, policy=self.kind,
+            rule="initial: work-efficient (the first frontier is just "
+                 "the root)",
+            inputs={"min_frontier": self.min_frontier},
+        )
+
+    def decide(self, current: str, q_curr_len: int, q_next_len: int) -> Decision:
+        q_next = int(q_next_len)
+        inputs = {"q_curr": int(q_curr_len), "q_next": q_next,
+                  "min_frontier": self.min_frontier}
+        if q_next >= self.min_frontier:
+            return Decision(
+                strategy=EDGE_PARALLEL, policy=self.kind, inputs=inputs,
+                rule=f"q_next={q_next} >= min_frontier="
+                     f"{self.min_frontier}: edge-parallel",
+            )
+        return Decision(
+            strategy=WORK_EFFICIENT, policy=self.kind, inputs=inputs,
+            rule=f"q_next={q_next} < min_frontier="
+                 f"{self.min_frontier}: work-efficient",
+        )

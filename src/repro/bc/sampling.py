@@ -23,6 +23,7 @@ __all__ = [
     "DEFAULT_GAMMA",
     "DEFAULT_MIN_FRONTIER",
     "choose_edge_parallel",
+    "classification_record",
     "sample_roots",
 ]
 
@@ -51,6 +52,52 @@ def choose_edge_parallel(
         return False
     median = depths[depths.size // 2]
     return bool(median < gamma * math.log2(num_vertices))
+
+
+def classification_record(
+    max_depths,
+    num_vertices: int,
+    gamma: float = DEFAULT_GAMMA,
+) -> dict:
+    """Algorithm 5's decision with its full audit context.
+
+    Returns a JSON-serialisable dict carrying every input the cutoff
+    comparison used — the sorted sample depths, their (upper) median,
+    ``gamma`` and the ``gamma * log2(n)`` cutoff — plus the outcome and
+    a human-readable ``rule`` string, mirroring
+    :class:`~repro.bc.policies.Decision` for the graph-level decision.
+    The decision-trace subsystem records exactly this dict, so
+    ``repro trace explain`` can replay the classification.
+    """
+    depths = np.sort(np.asarray(max_depths, dtype=np.int64))
+    chose = choose_edge_parallel(depths, num_vertices, gamma=gamma)
+    record = {
+        "policy": "sampling",
+        "n_samps": int(depths.size),
+        "gamma": float(gamma),
+        "num_vertices": int(num_vertices),
+        "depths": [int(d) for d in depths],
+        "chose_edge_parallel": bool(chose),
+    }
+    if depths.size == 0 or num_vertices < 2:
+        record.update({
+            "median_depth": None, "depth_cutoff": None,
+            "rule": "degenerate sample (no depths or n < 2): "
+                    "work-efficient",
+        })
+        return record
+    median = int(depths[depths.size // 2])
+    cutoff = float(gamma) * math.log2(num_vertices)
+    cmp = "<" if median < cutoff else ">="
+    outcome = ("edge-parallel (small-world/scale-free)" if chose
+               else "work-efficient (high diameter)")
+    record.update({
+        "median_depth": median,
+        "depth_cutoff": cutoff,
+        "rule": f"median_depth={median} {cmp} gamma*log2(n)="
+                f"{gamma:g}*log2({num_vertices})={cutoff:.2f}: {outcome}",
+    })
+    return record
 
 
 def sample_roots(num_vertices: int, n_samps: int = DEFAULT_N_SAMPS,

@@ -32,6 +32,26 @@ the ABFT verification layer detecting and repairing them::
 
 ``--verify off|sampled|paranoid`` also applies to ``resilience`` runs.
 
+``profile --trace-out trace.json`` additionally writes the run's
+decision trace (schema ``repro.trace/v1``) — every hybrid/sampling
+strategy decision with the exact α/β/γ comparison that caused it —
+from the *same* run that produced the kernel profile.  ``trace
+explain`` replays such a file as a per-root decision audit::
+
+    python -m repro profile --strategy hybrid --trace-out trace.json
+    python -m repro trace explain trace.json
+
+``bench`` is the performance-regression gate: ``bench run`` executes
+the benchmark grid (every strategy × one dataset per structural class)
+and writes a ``repro.bench/v1`` document; ``bench diff`` pairs it with
+a baseline by (dataset, strategy) and classifies each pair under a
+noise-aware tolerance, exiting nonzero on regression when asked::
+
+    python -m repro bench run --out bench_current.json
+    python -m repro bench diff bench_current.json \
+        --against BENCH_baseline.json --fail-on-regression
+    python -m repro bench report bench_diff.json
+
 Every command also accepts ``--metrics-out metrics.json`` to export the
 run's metrics registry (``repro.observability/v1``).  Output paths get
 their parent directories created on demand; unwritable paths fail with
@@ -46,7 +66,7 @@ import sys
 from .harness.experiments import EXPERIMENTS
 from .harness.runner import ExperimentConfig
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "build_bench_parser", "build_trace_parser"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -109,6 +129,72 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: not written) JSON goes; parent directories are "
              "created",
     )
+    prof.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="also write the run's decision trace (schema repro.trace/v1) "
+             "to this JSON file — kernel profile and decision audit from "
+             "one run; replay with 'repro trace explain PATH'",
+    )
+    return parser
+
+
+def build_bench_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bc bench",
+        description="Run the benchmark grid and diff it against a baseline "
+                    "(the performance-regression gate).",
+    )
+    sub = parser.add_subparsers(dest="bench_command", required=True)
+
+    run_p = sub.add_parser("run", help="run the grid, write repro.bench/v1")
+    run_p.add_argument("--out", default="bench_current.json", metavar="PATH")
+    run_p.add_argument("--scale-factor", type=int, default=1024)
+    run_p.add_argument("--roots", type=int, default=16)
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--n-samps", type=int, default=None,
+                       help="sampling-phase size for the sampling strategy "
+                            "(default: half of --roots)")
+
+    diff_p = sub.add_parser(
+        "diff", help="pair two bench documents and classify every "
+                     "(dataset, strategy) pair")
+    diff_p.add_argument("current", help="repro.bench/v1 file to judge")
+    diff_p.add_argument("--against", required=True, metavar="BASELINE",
+                        help="repro.bench/v1 file to compare against "
+                             "(e.g. BENCH_baseline.json)")
+    diff_p.add_argument("--metric", default=None,
+                        help="row metric to compare (default makespan_cycles)")
+    diff_p.add_argument("--rel-tol", type=float, default=None,
+                        help="relative change threshold (default 0.05)")
+    diff_p.add_argument("--min-effect", type=float, default=None,
+                        help="absolute-change floor below which a pair is "
+                             "unchanged (default: per-metric)")
+    diff_p.add_argument("--report", default=None, metavar="PATH",
+                        help="also write the machine-readable "
+                             "repro.bench.diff/v1 verdict here")
+    diff_p.add_argument("--fail-on-regression", action="store_true",
+                        help="exit 1 if any pair regressed")
+
+    rep_p = sub.add_parser(
+        "report", help="re-render a saved repro.bench.diff/v1 verdict")
+    rep_p.add_argument("report", help="repro.bench.diff/v1 file")
+    return parser
+
+
+def build_trace_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bc trace",
+        description="Replay a repro.trace/v1 decision trace as a "
+                    "human-readable audit.",
+    )
+    sub = parser.add_subparsers(dest="trace_command", required=True)
+    exp_p = sub.add_parser(
+        "explain", help="per-root decision audit + frontier evolution")
+    exp_p.add_argument("trace", help="repro.trace/v1 file (from "
+                                     "'repro profile --trace-out')")
+    exp_p.add_argument("--root", type=int, default=None,
+                       help="audit only this root (default: all, "
+                            "deduplicated by identical decision sequence)")
     return parser
 
 
@@ -163,7 +249,91 @@ def _render_profile(args, metrics) -> str:
         f"levels traced    : "
         f"{sum(len(rt.levels) for rt in run.trace.roots)}",
     ]
+    if args.trace_out:
+        from .observability import trace_document
+
+        _write_report(args.trace_out, trace_document(metrics, run=run, graph=g))
+        lines.append(f"decision trace   : {args.trace_out} "
+                     f"(replay with 'repro trace explain {args.trace_out}')")
     return "\n".join(lines)
+
+
+def _bench_main(argv) -> int:
+    from .bench import diff_bench, load_bench, run_bench_grid
+    from .errors import BenchFormatError
+
+    args = build_bench_parser().parse_args(argv)
+    try:
+        if args.bench_command == "run":
+            doc, wall_per_run = run_bench_grid(
+                scale_factor=args.scale_factor, roots=args.roots,
+                seed=args.seed, n_samps=args.n_samps)
+            doc["timing"] = {"per_run": wall_per_run,
+                             "wall_seconds": sum(wall_per_run.values())}
+            _write_report(args.out, doc)
+            for row in doc["results"]:
+                print(f"{row['dataset']:>20s} {row['strategy']:>15s} "
+                      f"{row['makespan_cycles']:>14.0f} cycles "
+                      f"{row['mteps']:>8.1f} MTEPS")
+            print(f"wrote {args.out}")
+            return 0
+        if args.bench_command == "diff":
+            baseline = load_bench(args.against)
+            current = load_bench(args.current)
+            kwargs = {}
+            if args.metric is not None:
+                kwargs["metric"] = args.metric
+            if args.rel_tol is not None:
+                kwargs["rel_tol"] = args.rel_tol
+            if args.min_effect is not None:
+                kwargs["min_effect"] = args.min_effect
+            diff = diff_bench(baseline, current, **kwargs)
+            if args.report:
+                _write_report(args.report, diff.to_dict())
+            print(diff.render_table())
+            if args.report:
+                print(f"\nreport: {args.report}")
+            return diff.exit_code if args.fail_on_regression else 0
+        # bench report: re-render a saved verdict
+        from .bench.regress import DIFF_SCHEMA, BenchDiff, Comparison
+        from .observability import load_json
+
+        try:
+            saved = load_json(args.report)
+        except ValueError as exc:
+            raise BenchFormatError(str(exc)) from exc
+        if not isinstance(saved, dict) or saved.get("schema") != DIFF_SCHEMA:
+            raise BenchFormatError(
+                f"{args.report}: expected schema {DIFF_SCHEMA!r}")
+        diff = BenchDiff(
+            metric=saved["metric"], rel_tol=saved["rel_tol"],
+            min_effect=saved["min_effect"],
+            higher_is_better=saved["higher_is_better"],
+            rows=[Comparison(**row) for row in saved["rows"]],
+            config_warnings=list(saved.get("config_warnings", [])),
+        )
+        print(diff.render_table())
+        return 0
+    except (BenchFormatError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except _OutputError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+
+
+def _trace_main(argv) -> int:
+    from .errors import TraceFormatError
+    from .observability import explain_lines, load_trace
+
+    args = build_trace_parser().parse_args(argv)
+    try:
+        doc = load_trace(args.trace)
+        print("\n".join(explain_lines(doc, root=args.root)))
+        return 0
+    except (TraceFormatError, ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 def _render_resilience(args, metrics=None) -> str:
@@ -270,6 +440,14 @@ def _render(name: str, cfg: ExperimentConfig, scales) -> str:
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # "bench" and "trace" are command groups with their own subparsers;
+    # everything else flows through the legacy single-level parser.
+    if argv and argv[0] == "bench":
+        return _bench_main(argv[1:])
+    if argv and argv[0] == "trace":
+        return _trace_main(argv[1:])
     args = build_parser().parse_args(argv)
     from .observability import MetricsRegistry
 

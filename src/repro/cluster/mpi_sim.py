@@ -51,7 +51,9 @@ class SimComm:
         they export deterministically.  Each call is also appended to
         :attr:`timeline` — ``(op, nbytes, seconds)`` dicts in program
         order — which distributed drivers use to reconstruct per-rank
-        communication timelines.
+        communication timelines, and recorded as a ``comm.op`` trace
+        event so ``repro.trace/v1`` documents carry the collective
+        timeline next to the strategy decisions.
     """
 
     def __init__(self, size: int, link: LinkModel | None = None,
@@ -90,6 +92,8 @@ class SimComm:
         self.metrics.inc("comm.calls", op=op)
         self.metrics.inc("comm.bytes", nbytes, op=op)
         self.metrics.inc("comm.seconds", seconds, op=op)
+        self.metrics.record("comm.op", op=op, nbytes=int(nbytes),
+                            seconds=float(seconds), size=self.size)
 
     # ------------------------------------------------------------------
     def bcast(self, value, root: int = 0):

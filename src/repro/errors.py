@@ -16,6 +16,8 @@ __all__ = [
     "ClusterConfigurationError",
     "CommunicatorError",
     "FaultSpecError",
+    "TraceFormatError",
+    "BenchFormatError",
     "RankFailure",
     "RetryExhaustedError",
     "SilentCorruptionError",
@@ -73,6 +75,15 @@ class CommunicatorError(ReproError):
 
 class FaultSpecError(ReproError):
     """An invalid fault-injection plan or fault spec string."""
+
+
+class TraceFormatError(ReproError):
+    """A decision-trace file is not a valid ``repro.trace/v1`` document."""
+
+
+class BenchFormatError(ReproError):
+    """A benchmark-results file is not a valid ``repro.bench/v1``
+    document (or two documents being diffed are incomparable)."""
 
 
 class RankFailure(ReproError):

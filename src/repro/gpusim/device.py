@@ -40,7 +40,7 @@ from ..bc.sampling import (
     DEFAULT_GAMMA,
     DEFAULT_MIN_FRONTIER,
     DEFAULT_N_SAMPS,
-    choose_edge_parallel,
+    classification_record,
 )
 from ..errors import GraphFormatError, SilentCorruptionError, StrategyError
 from ..graph.csr import CSRGraph
@@ -311,8 +311,13 @@ class Device:
             Optional :class:`~repro.observability.MetricsRegistry`.
             Records ``device.*`` series (roots, cycles, makespan, bytes
             allocated) plus the per-level ``engine.*`` series of every
-            root, inside a ``device.run_bc`` span.  Export the finished
-            trace with :func:`repro.observability.run_profile`.
+            root, inside a ``device.run_bc`` span, and the run's
+            decision-trace events (``run.params``, per-level
+            ``decision.*``, the sampling classification).  Export the
+            finished trace with :func:`repro.observability.run_profile`
+            (kernel profile) or
+            :func:`repro.observability.trace_document` (decision audit)
+            — one run, two exporters.
         verify:
             A :class:`~repro.verify.VerificationPolicy`, a mode string
             (``"off"``/``"sampled"``/``"paranoid"``), or ``None``.
@@ -362,6 +367,19 @@ class Device:
         observer = None
         if verify_policy.enabled or self._sdc_pending():
             observer = _RunObserver(self, g, verify_policy, metrics)
+
+        params = {"strategy": strategy, "device": self.spec.name,
+                  "num_vertices": int(n), "num_edges": int(g.num_edges),
+                  "num_roots": int(roots.size)}
+        if strategy == "hybrid":
+            params["alpha"] = int(alpha if alpha is not None
+                                  else HybridPolicy().alpha)
+            params["beta"] = int(beta if beta is not None
+                                 else HybridPolicy().beta)
+        elif strategy == "sampling":
+            params.update(n_samps=int(n_samps), gamma=float(gamma),
+                          min_frontier=int(min_frontier))
+        metrics.record("run.params", **params)
 
         fixed_cycles = 0.0
         fixed_roots = 0
@@ -492,9 +510,13 @@ class Device:
             [rt.cycles for rt in trace.roots], self.spec.num_sms
         )
         depths = [rt.max_depth for rt in trace.roots]
-        use_ep = choose_edge_parallel(depths, g.num_vertices, gamma=gamma)
+        classification = classification_record(depths, g.num_vertices,
+                                               gamma=gamma)
+        use_ep = classification["chose_edge_parallel"]
         metrics.inc("device.sampling_classifications",
                     chose="edge-parallel" if use_ep else "work-efficient")
+        metrics.record("decision.sampling", min_frontier=int(min_frontier),
+                       **classification)
         phase2_start = len(trace.roots)
         for s in phase2:
             policy = (FrontierGuardPolicy(min_frontier) if use_ep

@@ -73,6 +73,13 @@ class RootTrace:
                 seen.append(lv.strategy)
         return seen
 
+    def strategy_by_depth(self) -> dict:
+        """``{depth: strategy}`` over the forward sweep — the recorded
+        strategy sequence the decision-trace audit is verified against
+        (backward levels reuse the forward level's strategy by
+        construction, so the forward map is the whole story)."""
+        return {int(lv.depth): lv.strategy for lv in self.forward_levels()}
+
 
 @dataclass
 class RunTrace:

@@ -11,8 +11,12 @@ checked against.  Three pieces:
   zero-cost when off.
 * :class:`SpanClock` — one timeline for wall and charged simulated
   seconds; budget checks and reports read the same ``elapsed()``.
-* Exporters — canonical JSON/CSV (``repro.observability/v1``) and
-  device kernel profiles (``repro.profile/v1``, via ``repro profile``).
+* Exporters — canonical JSON/CSV (``repro.observability/v1``), device
+  kernel profiles (``repro.profile/v1``, via ``repro profile``) and
+  decision traces (``repro.trace/v1``, via ``repro profile
+  --trace-out`` / ``repro trace explain``): every strategy decision
+  with the exact α/β/γ comparison that caused it, recorded through
+  :meth:`MetricsRegistry.record` and replayable as a per-root audit.
 
 Quickstart::
 
@@ -25,7 +29,15 @@ Quickstart::
 """
 
 from .clock import SpanClock
-from .export import SCHEMA, dumps, registry_to_dict, span_to_dict, write_csv, write_json
+from .export import (
+    SCHEMA,
+    dumps,
+    load_json,
+    registry_to_dict,
+    span_to_dict,
+    write_csv,
+    write_json,
+)
 from .profiles import (
     PROFILE_SCHEMA,
     level_profile,
@@ -44,6 +56,15 @@ from .registry import (
     NullRegistry,
     Span,
 )
+from .trace import (
+    TRACE_SCHEMA,
+    explain_lines,
+    frontier_evolution,
+    load_trace,
+    trace_document,
+    verify_decisions,
+    write_trace,
+)
 
 __all__ = [
     "SpanClock",
@@ -57,11 +78,19 @@ __all__ = [
     "DEFAULT_BUCKETS",
     "SCHEMA",
     "PROFILE_SCHEMA",
+    "TRACE_SCHEMA",
     "registry_to_dict",
     "span_to_dict",
     "dumps",
     "write_json",
+    "load_json",
     "write_csv",
+    "trace_document",
+    "write_trace",
+    "load_trace",
+    "explain_lines",
+    "frontier_evolution",
+    "verify_decisions",
     "level_profile",
     "root_profile",
     "trace_profile",

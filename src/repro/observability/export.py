@@ -11,6 +11,13 @@ Schema contract (``repro.observability/v1``):
   wall/sim second totals.  Deleting ``timing`` from two exports of the
   same deterministic run must leave byte-identical JSON; the
   determinism tests rely on this.
+
+:func:`dumps` is the single canonical serialiser every schema in the
+repo goes through (``repro.observability/v1``, ``repro.profile/v1``,
+``repro.trace/v1``, ``repro.bench/v1`` and its diff documents): object
+keys sorted, fixed separators, trailing newline added by
+:func:`write_json` — so "same simulated data" always means "same
+bytes", which is what the byte-determinism tests compare.
 """
 
 from __future__ import annotations
@@ -27,6 +34,7 @@ __all__ = [
     "span_to_dict",
     "dumps",
     "write_json",
+    "load_json",
     "write_csv",
 ]
 
@@ -98,6 +106,18 @@ def write_json(path, registry_or_dict) -> dict:
     with open(path, "w", encoding="utf-8") as fh:
         fh.write(dumps(payload) + "\n")
     return payload
+
+
+def load_json(path) -> dict:
+    """Load one JSON document; raises ``ValueError`` with the offending
+    path on malformed input (schema validation is the caller's job —
+    see :func:`repro.observability.trace.load_trace` and
+    :func:`repro.bench.load_bench`)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        try:
+            return json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}: not valid JSON: {exc}") from exc
 
 
 def _labels_str(labels: dict) -> str:

@@ -11,6 +11,12 @@ One :class:`MetricsRegistry` collects everything a run wants to report:
 * **Spans** — nested timed intervals via the :meth:`MetricsRegistry.span`
   context manager, timestamped on a :class:`~repro.observability.clock.SpanClock`
   so wall and charged simulated time share one timeline.
+* **Events** — an append-only structured log via :meth:`MetricsRegistry.record`:
+  one dict per occurrence, in program order.  The decision-trace
+  exporter (:mod:`repro.observability.trace`) reads this stream to
+  reconstruct *why* each strategy decision was taken; events must carry
+  only simulated/deterministic values so the ``repro.trace/v1``
+  document stays byte-reproducible.
 
 Every instrument accepts keyword **labels**; the same name with
 different labels is a distinct series (``comm.bytes{op=bcast}`` vs
@@ -146,6 +152,8 @@ class MetricsRegistry:
         self._histograms: dict = {}
         self.root_spans: list = []
         self._span_stack: list = []
+        #: Structured event log, in program order (see :meth:`record`).
+        self.events: list = []
 
     # -- instrument accessors ------------------------------------------
     def counter(self, name: str, /, **labels) -> Counter:
@@ -182,6 +190,15 @@ class MetricsRegistry:
     def observe(self, name: str, value: float, /, buckets=DEFAULT_BUCKETS,
                 wall: bool = False, **labels) -> None:
         self.histogram(name, buckets=buckets, wall=wall, **labels).observe(value)
+
+    def record(self, kind: str, /, **fields) -> None:
+        """Append one structured event ``{"event": kind, **fields}``.
+
+        ``kind`` is positional-only so ``event`` itself is a legal field
+        name.  Field values must be JSON-serialisable and — for the
+        trace-determinism guarantee — derived from simulated state only
+        (no wall-clock readings)."""
+        self.events.append({"event": kind, **fields})
 
     # -- spans ---------------------------------------------------------
     @contextmanager
@@ -254,6 +271,9 @@ class NullRegistry(MetricsRegistry):
         pass
 
     def observe(self, name, value, /, buckets=DEFAULT_BUCKETS, wall=False, **labels):
+        pass
+
+    def record(self, kind, /, **fields):
         pass
 
     def span(self, name, /, **labels):

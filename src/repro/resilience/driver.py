@@ -361,6 +361,9 @@ def resilient_distributed_bc(
     def record_incident(inc: RankIncident) -> None:
         incidents.append(inc)
         metrics.inc("resilience.incidents", kind=inc.kind, where=inc.where)
+        metrics.record("resilience.incident", rank=inc.rank, kind=inc.kind,
+                       where=inc.where, attempt=inc.attempt,
+                       roots_lost=inc.roots_lost)
 
     def checked(fn, *args, **kwargs):
         # Every invariant evaluation is timed so the layer's cost is a
@@ -530,6 +533,11 @@ def resilient_distributed_bc(
 
         orphans = (np.concatenate(round_orphans) if round_orphans
                    else np.empty(0, dtype=np.int64))
+        metrics.record("resilience.round", attempt=attempt,
+                       orphans=int(orphans.size),
+                       survivors=len(comm.live),
+                       completed_roots=int(store.completed_roots),
+                       makespan_seconds=float(max(round_costs)))
         if orphans.size == 0:
             break
         survivors = sorted(comm.live)
@@ -604,6 +612,8 @@ def resilient_distributed_bc(
         samples_used = k
         clock.advance(per_root_seconds * k, "degrade")
         metrics.inc("resilience.degraded_roots", degraded_roots)
+        metrics.record("resilience.degrade", roots=degraded_roots,
+                       samples=k, scale=degraded_roots / k)
 
     metrics.inc("resilience.runs")
     metrics.inc("resilience.recomputed_roots", recomputed_roots)

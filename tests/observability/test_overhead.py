@@ -39,6 +39,10 @@ class CallCountingRegistry(MetricsRegistry):
         self.calls += 1
         return super().span(name, **labels)
 
+    def record(self, kind, /, **fields):
+        self.calls += 1
+        super().record(kind, **fields)
+
 
 def _median_runtime(fn, repeats=5):
     samples = []
@@ -65,12 +69,19 @@ def test_disabled_registry_overhead_under_5_percent(small_sw):
         inc = NULL_REGISTRY.inc
         observe = NULL_REGISTRY.observe
         span = NULL_REGISTRY.span
+        record = NULL_REGISTRY.record
         # Same call mix shape as the hot paths: mostly counters, some
-        # histograms, a few spans.
+        # histograms and decision events, a few spans.
         for _ in range(n_calls):
             inc("engine.levels", 1.0, stage="forward", strategy="we")
         for _ in range(n_calls // 4):
             observe("engine.frontier_size", 17.0)
+        for _ in range(n_calls // 4):
+            record("decision.step", root=0, depth=3, applies_to_depth=4,
+                   previous="work-efficient", strategy="work-efficient",
+                   policy="hybrid", rule="|Δfrontier|=17 <= alpha=768",
+                   q_curr=17, q_next=34, delta_frontier=17,
+                   alpha=768, beta=512)
         for _ in range(4):
             with span("device.run_bc", strategy="hybrid"):
                 pass
