@@ -68,9 +68,13 @@ def main(argv=None) -> int:
         fh.write(json.dumps(doc, sort_keys=True, indent=2,
                             separators=(",", ": ")) + "\n")
     for row in doc["results"]:
+        if "mteps" in row:
+            tail = f"{row['mteps']:>8.1f} MTEPS"
+        else:  # service-load rows report latency, not traversal rate
+            tail = (f"p99 {row['p99_latency']:.2e}s "
+                    f"shed {row['shed_rate']:.0%}")
         print(f"{row['dataset']:>20s} {row['strategy']:>15s} "
-              f"{row['makespan_cycles']:>14.0f} cycles "
-              f"{row['mteps']:>8.1f} MTEPS")
+              f"{row['makespan_cycles']:>14.0f} cycles {tail}")
     print(f"wrote {args.out}")
     return 0
 

@@ -80,6 +80,7 @@ def run_bench_grid(
     datasets=DATASET_NAMES,
     strategies=STRATEGY_NAMES,
     wall_clock=None,
+    include_service: bool = True,
 ):
     """Run the benchmark grid; returns ``(document, wall_per_run)``.
 
@@ -97,6 +98,12 @@ def run_bench_grid(
         Zero-argument wall-time source (defaults to
         ``time.perf_counter``); wall times are reported out-of-band in
         ``wall_per_run``, never in the document body.
+    include_service:
+        Also run the service load-generator scenarios
+        (:func:`repro.service.service_bench_rows`) and append their
+        ``dataset="service-load"`` rows, putting p50/p99 latency,
+        throughput and shed rate under the same regression ratchet as
+        kernel makespans.
     """
     if wall_clock is None:
         import time
@@ -142,6 +149,16 @@ def run_bench_grid(
                 "sampling_depth_cutoff":
                     None if decision is None else decision["depth_cutoff"],
             })
+    if include_service:
+        # Imported here, not at module top: bench is a dependency of the
+        # service's load model, so the import must stay one-directional
+        # at module-load time.
+        from ..service.loadgen import service_bench_rows
+
+        t0 = wall_clock()
+        service_rows = service_bench_rows(seed=seed)
+        wall_per_run["service-load"] = wall_clock() - t0
+        results.extend(service_rows)
     doc = {
         "schema": BENCH_SCHEMA,
         "config": {

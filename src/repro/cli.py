@@ -52,6 +52,20 @@ noise-aware tolerance, exiting nonzero on regression when asked::
         --against BENCH_baseline.json --fail-on-regression
     python -m repro bench report bench_diff.json
 
+``service`` runs BC as a crash-safe daemon: graphs load once, jobs are
+submitted through a spool directory, state lives in a checksummed
+write-ahead journal that survives ``kill -9``, and results land in a
+content-addressed verified cache::
+
+    python -m repro service serve --root svc --idle-exit 5 &
+    python -m repro service submit --root svc --graph smallworld \
+        --strategy sampling --roots 8
+    python -m repro service status --root svc
+    python -m repro service results --root svc <job-id>
+
+``status``/``results`` only *read* the journal and cache, so they work
+with the daemon live, dead, or mid-crash.
+
 Every command also accepts ``--metrics-out metrics.json`` to export the
 run's metrics registry (``repro.observability/v1``).  Output paths get
 their parent directories created on demand; unwritable paths fail with
@@ -66,7 +80,8 @@ import sys
 from .harness.experiments import EXPERIMENTS
 from .harness.runner import ExperimentConfig
 
-__all__ = ["main", "build_parser", "build_bench_parser", "build_trace_parser"]
+__all__ = ["main", "build_parser", "build_bench_parser",
+           "build_trace_parser", "build_service_parser"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -154,6 +169,9 @@ def build_bench_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--n-samps", type=int, default=None,
                        help="sampling-phase size for the sampling strategy "
                             "(default: half of --roots)")
+    run_p.add_argument("--no-service", action="store_true",
+                       help="omit the service load-generator rows "
+                            "(dataset 'service-load')")
 
     diff_p = sub.add_parser(
         "diff", help="pair two bench documents and classify every "
@@ -198,9 +216,87 @@ def build_trace_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_service_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bc service",
+        description="Crash-safe BC service: durable job queue, "
+                    "fault-hardened scheduler, admission control.",
+    )
+    # --root lives on a parent parser so each verb accepts it after the
+    # subcommand; allow_abbrev=False keeps it from swallowing --roots.
+    common = argparse.ArgumentParser(add_help=False, allow_abbrev=False)
+    common.add_argument("--root", default=".repro-service", metavar="DIR",
+                        help="service directory (journal, result cache, "
+                             "spool); default .repro-service")
+    sub = parser.add_subparsers(dest="service_command", required=True)
+
+    serve_p = sub.add_parser("serve", parents=[common],
+                             help="run the daemon (foreground)")
+    serve_p.add_argument("--max-queue", type=int, default=64)
+    serve_p.add_argument("--degrade-threshold", type=int, default=None,
+                         help="queue depth at which overload mode starts "
+                              "(default: max-queue/2)")
+    serve_p.add_argument("--tenant-quota", type=int, default=16)
+    serve_p.add_argument("--max-retries", type=int, default=3)
+    serve_p.add_argument("--devices", type=int, default=2,
+                         help="simulated devices in the pool (default 2)")
+    serve_p.add_argument("--seed", type=int, default=0,
+                         help="scheduler seed (backoff jitter)")
+    serve_p.add_argument("--throttle", type=float, default=0.0,
+                         help="wall-clock sleep between jobs (the CI "
+                              "kill-and-recover test widens its SIGKILL "
+                              "window with this)")
+    serve_p.add_argument("--idle-exit", type=float, default=None,
+                         help="exit after this many idle seconds "
+                              "(default: serve until SIGTERM)")
+    serve_p.add_argument("--poll-interval", type=float, default=0.05)
+    serve_p.add_argument("--metrics-out", default=None, metavar="PATH")
+
+    sub_p = sub.add_parser("submit", parents=[common],
+                           help="queue one job via the spool")
+    sub_p.add_argument("--job-id", default=None,
+                       help="explicit id (default: generated)")
+    sub_p.add_argument("--graph", default="smallworld")
+    sub_p.add_argument("--scale-factor", type=int, default=1024)
+    sub_p.add_argument("--graph-seed", type=int, default=0)
+    sub_p.add_argument("--strategy", default="sampling")
+    sub_p.add_argument("--roots", type=int, default=8)
+    sub_p.add_argument("--seed", type=int, default=0)
+    sub_p.add_argument("--tenant", default="default")
+    sub_p.add_argument("--deadline", type=float, default=None,
+                       help="simulated-seconds deadline")
+    sub_p.add_argument("--no-degrade", action="store_true",
+                       help="fail rather than return a flagged estimate")
+    sub_p.add_argument("--faults", default="",
+                       help="FaultPlan chaos spec, e.g. 'fail:0@compute+1'")
+
+    stat_p = sub.add_parser("status", parents=[common],
+                            help="read job state from the journal")
+    stat_p.add_argument("job_id", nargs="?", default=None)
+
+    cancel_p = sub.add_parser("cancel", parents=[common],
+                              help="request a pending job's "
+                                   "cancellation via the spool")
+    cancel_p.add_argument("job_id")
+
+    res_p = sub.add_parser("results", parents=[common],
+                           help="read one DONE job's verified "
+                                "result from the cache")
+    res_p.add_argument("job_id")
+    res_p.add_argument("--out", default=None, metavar="PATH",
+                       help="write the full repro.result/v1 values here")
+    return parser
+
+
 class _OutputError(Exception):
     """A report/metrics file could not be written; main() turns this
     into a one-line stderr message and a nonzero exit."""
+
+
+class _InputError(Exception):
+    """A required input file is missing/unreadable; rendered as a
+    one-line actionable error with its own exit code (3), distinct from
+    format errors (2)."""
 
 
 def _write_report(path, payload_or_registry) -> None:
@@ -258,6 +354,22 @@ def _render_profile(args, metrics) -> str:
     return "\n".join(lines)
 
 
+def _load_bench_input(path, role: str):
+    """Load a bench document, turning a missing/unreadable file into an
+    actionable one-liner (exit 3) instead of a bare errno message."""
+    from .bench import load_bench
+
+    try:
+        return load_bench(path)
+    except OSError as exc:
+        raise _InputError(
+            f"error: cannot read {role} bench file {path!r}: "
+            f"{exc.strerror or exc}. Generate it with "
+            f"'repro bench run --out {path}' (the committed baseline "
+            f"lives at BENCH_baseline.json)."
+        ) from exc
+
+
 def _bench_main(argv) -> int:
     from .bench import diff_bench, load_bench, run_bench_grid
     from .errors import BenchFormatError
@@ -267,19 +379,24 @@ def _bench_main(argv) -> int:
         if args.bench_command == "run":
             doc, wall_per_run = run_bench_grid(
                 scale_factor=args.scale_factor, roots=args.roots,
-                seed=args.seed, n_samps=args.n_samps)
+                seed=args.seed, n_samps=args.n_samps,
+                include_service=not args.no_service)
             doc["timing"] = {"per_run": wall_per_run,
                              "wall_seconds": sum(wall_per_run.values())}
             _write_report(args.out, doc)
             for row in doc["results"]:
+                if "mteps" in row:
+                    tail = f"{row['mteps']:>8.1f} MTEPS"
+                else:  # service-load rows report latency, not traversal
+                    tail = (f"p99 {row['p99_latency']:.2e}s "
+                            f"shed {row['shed_rate']:.0%}")
                 print(f"{row['dataset']:>20s} {row['strategy']:>15s} "
-                      f"{row['makespan_cycles']:>14.0f} cycles "
-                      f"{row['mteps']:>8.1f} MTEPS")
+                      f"{row['makespan_cycles']:>14.0f} cycles {tail}")
             print(f"wrote {args.out}")
             return 0
         if args.bench_command == "diff":
-            baseline = load_bench(args.against)
-            current = load_bench(args.current)
+            baseline = _load_bench_input(args.against, "baseline")
+            current = _load_bench_input(args.current, "current")
             kwargs = {}
             if args.metric is not None:
                 kwargs["metric"] = args.metric
@@ -300,6 +417,13 @@ def _bench_main(argv) -> int:
 
         try:
             saved = load_json(args.report)
+        except OSError as exc:
+            raise _InputError(
+                f"error: cannot read diff report {args.report!r}: "
+                f"{exc.strerror or exc}. Produce one with "
+                f"'repro bench diff <current> --against "
+                f"BENCH_baseline.json --report {args.report}'."
+            ) from exc
         except ValueError as exc:
             raise BenchFormatError(str(exc)) from exc
         if not isinstance(saved, dict) or saved.get("schema") != DIFF_SCHEMA:
@@ -314,7 +438,184 @@ def _bench_main(argv) -> int:
         )
         print(diff.render_table())
         return 0
+    except _InputError as exc:
+        print(exc, file=sys.stderr)
+        return 3
     except (BenchFormatError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except _OutputError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+
+
+def _spool_ticket(root: str, ticket: dict) -> str:
+    """Atomically drop one ticket into the service spool; returns its
+    path.  Atomic rename means the daemon never reads a half-written
+    ticket."""
+    import json
+    import os
+    import uuid
+
+    spool = os.path.join(root, "spool")
+    os.makedirs(spool, exist_ok=True)
+    name = f"{uuid.uuid4().hex}.json"
+    tmp = os.path.join(spool, f".{name}.tmp")
+    path = os.path.join(spool, name)
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(ticket, fh)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    return path
+
+
+def _service_main(argv) -> int:
+    import json
+    import os
+    import uuid
+
+    from .errors import (
+        JobSpecError,
+        JournalCorruptionError,
+    )
+    from .service import (
+        DONE,
+        AdmissionPolicy,
+        BCService,
+        JobSpec,
+        ResultCache,
+        Scheduler,
+        SimDevice,
+        read_journal,
+        replay_state,
+    )
+
+    args = build_service_parser().parse_args(argv)
+    root = args.root
+    journal_path = os.path.join(root, "journal.jsonl")
+    try:
+        if args.service_command == "serve":
+            from .observability import MetricsRegistry
+
+            metrics = MetricsRegistry()
+            policy = AdmissionPolicy(
+                max_queue=args.max_queue,
+                degrade_threshold=args.degrade_threshold,
+                tenant_quota=args.tenant_quota)
+            sched = Scheduler(
+                [SimDevice(f"dev{i}") for i in range(max(1, args.devices))],
+                max_retries=args.max_retries, seed=args.seed,
+                metrics=metrics)
+            svc = BCService(root, policy=policy, scheduler=sched,
+                            metrics=metrics)
+            if svc.recovered_ids:
+                print(f"recovered {len(svc.recovered_ids)} interrupted "
+                      f"job(s): {', '.join(svc.recovered_ids)}")
+            print(f"serving from {root} "
+                  f"(journal {journal_path}, pid {os.getpid()})")
+            try:
+                svc.serve_forever(poll_interval=args.poll_interval,
+                                  throttle=args.throttle,
+                                  idle_exit=args.idle_exit)
+            finally:
+                if args.metrics_out:
+                    _write_report(args.metrics_out, metrics)
+            print("drained; journal closed")
+            return 0
+
+        if args.service_command == "submit":
+            job_id = args.job_id or f"s{uuid.uuid4().hex[:10]}"
+            spec = JobSpec(
+                job_id=job_id, graph=args.graph,
+                scale_factor=args.scale_factor, graph_seed=args.graph_seed,
+                strategy=args.strategy, roots=args.roots, seed=args.seed,
+                tenant=args.tenant, deadline_seconds=args.deadline,
+                allow_degrade=not args.no_degrade, faults=args.faults)
+            _spool_ticket(root, {"op": "submit", "job": spec.to_dict()})
+            print(job_id)
+            return 0
+
+        if args.service_command == "cancel":
+            _spool_ticket(root, {"op": "cancel", "job_id": args.job_id})
+            print(f"cancel requested for {args.job_id}")
+            return 0
+
+        # status/results: read-only over the journal + cache — valid at
+        # every instant, daemon or no daemon.
+        if not os.path.exists(journal_path):
+            raise _InputError(
+                f"error: no journal at {journal_path!r}. Start the "
+                f"daemon with 'repro service serve --root {root}'.")
+        records, _torn = read_journal(journal_path)
+        state = replay_state(records, journal_path)
+
+        if args.service_command == "status":
+            if args.job_id is not None:
+                job = state.jobs.get(args.job_id)
+                if job is None:
+                    print(f"error: no job {args.job_id!r} in the journal",
+                          file=sys.stderr)
+                    return 1
+                print(json.dumps(job.status_dict(), indent=2,
+                                 sort_keys=True))
+                return 0
+            ordered = sorted(state.jobs.values(),
+                             key=lambda j: j.submit_seq)
+            for job in ordered:
+                flag = ("exact" if job.exact
+                        else (job.degraded_reason or "-")
+                        if job.exact is not None else "-")
+                print(f"{job.job_id:>14s} {job.state:>9s} "
+                      f"{job.spec.tenant:>10s} {job.spec.graph:>18s} "
+                      f"{job.spec.strategy:>15s} a{job.attempt} {flag}")
+            print(f"{len(ordered)} job(s), "
+                  f"{sum(1 for j in ordered if not j.terminal)} live")
+            return 0
+
+        # results
+        job = state.jobs.get(args.job_id)
+        if job is None:
+            print(f"error: no job {args.job_id!r} in the journal",
+                  file=sys.stderr)
+            return 1
+        if job.state != DONE or job.result_key is None:
+            print(f"error: job {args.job_id!r} has no result "
+                  f"(state={job.state}"
+                  + (f", error={job.error}" if job.error else "") + ")",
+                  file=sys.stderr)
+            return 1
+        cache = ResultCache(os.path.join(root, "results"))
+        hit = cache.get(job.result_key)
+        if hit is None:
+            print(f"error: result {job.result_key[:12]}… missing or "
+                  f"corrupt (evicted); a serving daemon re-materialises "
+                  f"it on demand", file=sys.stderr)
+            return 1
+        values, meta = hit
+        if args.out:
+            _write_report(args.out, {
+                "schema": "repro.result/v1", "key": job.result_key,
+                "meta": meta, "values": [float(v) for v in values]})
+        print(f"job       : {job.job_id}")
+        print(f"exact     : {meta.get('exact')}"
+              + (f" (degraded: {meta.get('degraded_reason')})"
+                 if meta.get("degraded_reason") else ""))
+        print(f"device    : {meta.get('device')} "
+              f"(attempts {meta.get('attempts')}, "
+              f"{float(meta.get('sim_seconds', 0.0)):.6f} sim s)")
+        print(f"values    : n={values.size}, sum={float(values.sum()):.6f}, "
+              f"max={float(values.max()):.6f}")
+        if args.out:
+            print(f"written   : {args.out}")
+        return 0
+    except _InputError as exc:
+        print(exc, file=sys.stderr)
+        return 3
+    except JournalCorruptionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except JobSpecError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except _OutputError as exc:
@@ -448,6 +749,8 @@ def main(argv=None) -> int:
         return _bench_main(argv[1:])
     if argv and argv[0] == "trace":
         return _trace_main(argv[1:])
+    if argv and argv[0] == "service":
+        return _service_main(argv[1:])
     args = build_parser().parse_args(argv)
     from .observability import MetricsRegistry
 

@@ -22,6 +22,13 @@ __all__ = [
     "RetryExhaustedError",
     "SilentCorruptionError",
     "WorkerPoolError",
+    "ServiceError",
+    "JobSpecError",
+    "JobNotFoundError",
+    "JournalCorruptionError",
+    "ServiceOverloadError",
+    "CircuitOpenError",
+    "DeadlineExceededError",
 ]
 
 
@@ -148,3 +155,87 @@ class SilentCorruptionError(ReproError):
 
 class WorkerPoolError(ReproError):
     """A process-pool worker crashed and serial recovery also failed."""
+
+
+class ServiceError(ReproError):
+    """Base class for errors raised by the BC service (:mod:`repro.service`)."""
+
+
+class JobSpecError(ServiceError):
+    """A submitted job specification is invalid."""
+
+
+class JobNotFoundError(ServiceError):
+    """A job id is unknown to the service."""
+
+    def __init__(self, job_id: str):
+        self.job_id = str(job_id)
+        super().__init__(f"unknown job {self.job_id!r}")
+
+
+class JournalCorruptionError(ServiceError):
+    """A job-journal record *before the tail* failed its checksum or
+    cannot be parsed.
+
+    A corrupt/truncated **tail** record is a torn write (the expected
+    outcome of ``kill -9`` mid-append) and is silently dropped on
+    replay; corruption anywhere else means the journal file itself was
+    damaged and recovery must not guess.
+    """
+
+    def __init__(self, path, line_no: int, reason: str):
+        self.path = str(path)
+        self.line_no = int(line_no)
+        self.reason = str(reason)
+        super().__init__(f"{self.path}:{self.line_no}: {self.reason}")
+
+
+class ServiceOverloadError(ServiceError):
+    """The service shed a job at admission (backpressure).
+
+    Raised instead of queueing when the bounded queue is full or the
+    tenant's quota is exhausted — the typed error load generators and
+    clients key retry/"try later" behaviour on.
+    """
+
+    def __init__(self, reason: str, *, tenant: str = "", depth: int = 0,
+                 limit: int = 0):
+        self.reason = str(reason)
+        self.tenant = str(tenant)
+        self.depth = int(depth)
+        self.limit = int(limit)
+        detail = f" ({self.depth}/{self.limit})" if limit else ""
+        who = f" for tenant {self.tenant!r}" if tenant else ""
+        super().__init__(f"job shed: {self.reason}{who}{detail}")
+
+
+class CircuitOpenError(ServiceError):
+    """The (graph, strategy) pair is quarantined by the circuit breaker.
+
+    After ``threshold`` consecutive job failures on the same pair the
+    scheduler stops burning retries on it and fails further jobs fast
+    until a half-open probe succeeds.
+    """
+
+    def __init__(self, graph_key: str, strategy: str, failures: int):
+        self.graph_key = str(graph_key)
+        self.strategy = str(strategy)
+        self.failures = int(failures)
+        super().__init__(
+            f"circuit open for ({self.graph_key}, {self.strategy}) after "
+            f"{self.failures} consecutive failures"
+        )
+
+
+class DeadlineExceededError(ServiceError):
+    """A job's simulated runtime exceeded its deadline and degradation
+    was not allowed."""
+
+    def __init__(self, job_id: str, deadline: float, needed: float):
+        self.job_id = str(job_id)
+        self.deadline = float(deadline)
+        self.needed = float(needed)
+        super().__init__(
+            f"job {self.job_id!r} needs {self.needed:.4f}s simulated "
+            f"compute but its deadline is {self.deadline:.4f}s"
+        )

@@ -14,6 +14,7 @@ the coarse-grained parallelism over BFS roots safe.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -104,6 +105,26 @@ class CSRGraph:
         if self.num_vertices == 0:
             return 0
         return int(self.degrees.max(initial=0))
+
+    def digest(self) -> str:
+        """SHA-256 content digest of the graph structure.
+
+        Covers ``indptr``, ``adj`` and directedness — two graphs share a
+        digest iff they are structurally identical.  The service layer
+        keys its graph registry, circuit breaker and content-addressed
+        result cache on this, so it is computed once and cached (the
+        arrays are frozen read-only at construction).
+        """
+        cached = self.__dict__.get("_digest")
+        if cached is None:
+            h = hashlib.sha256()
+            h.update(b"repro.csr/v1")
+            h.update(b"u" if self.undirected else b"d")
+            h.update(self.indptr.tobytes())
+            h.update(self.adj.tobytes())
+            cached = h.hexdigest()
+            object.__setattr__(self, "_digest", cached)
+        return cached
 
     def neighbors(self, v: int) -> np.ndarray:
         """Read-only adjacency slice of vertex ``v``."""

@@ -160,18 +160,24 @@ def parallel_betweenness_centrality(
 
         failed = [chunks[i] for i in np.flatnonzero(~done)]
         if failed:
-            try:
-                for chunk in failed:
-                    t_retry = time.perf_counter()
-                    bc += _chunk_partial(g, chunk)
-                    metrics.inc("pool.chunks_recovered")
-                    metrics.observe("pool.recovery_seconds",
-                                    time.perf_counter() - t_retry, wall=True)
-            except Exception as exc:
-                raise WorkerPoolError(
-                    f"{len(failed)} worker chunk(s) crashed and serial "
-                    f"recovery failed: {exc}"
-                ) from exc
+            # The serial fallback is real compute the pool numbers would
+            # otherwise hide: give it its own span and counter so a run
+            # that limped home on one core is visible in the registry.
+            with metrics.span("pool.recompute", chunks=len(failed)):
+                try:
+                    for chunk in failed:
+                        t_retry = time.perf_counter()
+                        bc += _chunk_partial(g, chunk)
+                        metrics.inc("pool.chunks_recovered")
+                        metrics.inc("pool.recomputed_chunks", path="serial")
+                        metrics.observe("pool.recovery_seconds",
+                                        time.perf_counter() - t_retry,
+                                        wall=True)
+                except Exception as exc:
+                    raise WorkerPoolError(
+                        f"{len(failed)} worker chunk(s) crashed and serial "
+                        f"recovery failed: {exc}"
+                    ) from exc
     if g.undirected:
         bc /= 2.0
     return bc

@@ -1,0 +1,100 @@
+"""Admission control: bounded queue, per-tenant quotas, load shedding.
+
+Every submission passes through :meth:`AdmissionController.decide`
+before it may touch the journal.  Three outcomes:
+
+* ``"admit"`` — queue it for an exact run.
+* ``"degrade"`` — queue it, but downgraded to a sampled estimate
+  (**overload mode**): the queue is beyond its soft threshold, the job
+  allows degradation, and a cheap flagged answer now beats an exact
+  answer after the backlog.  The result carries ``exact=False`` and
+  ``degraded_reason="overload"`` — degradation is never silent.
+* shed — raise :class:`~repro.errors.ServiceOverloadError` (typed, with
+  the limit that tripped): the queue is full, or the tenant is over
+  quota.  Nothing is queued; the client owns the retry.
+
+The controller is pure bookkeeping over counts supplied by the caller,
+so the daemon, the load generator, and the unit tests all exercise the
+identical policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import JobSpecError, ServiceOverloadError
+from ..observability.registry import NULL_REGISTRY
+
+__all__ = ["AdmissionPolicy", "AdmissionController"]
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Tunables for one service instance.
+
+    Parameters
+    ----------
+    max_queue:
+        Hard bound on queued (pending) jobs; submissions beyond it are
+        shed with backpressure.
+    degrade_threshold:
+        Soft bound at which overload mode begins: exact jobs that allow
+        it are admitted as flagged sampled estimates.  Defaults to half
+        of ``max_queue``; set equal to ``max_queue`` to disable.
+    tenant_quota:
+        Maximum live (pending + running) jobs per tenant.
+    """
+
+    max_queue: int = 64
+    degrade_threshold: int | None = None
+    tenant_quota: int = 16
+
+    def __post_init__(self) -> None:
+        if self.max_queue < 1:
+            raise JobSpecError("max_queue must be >= 1")
+        if self.tenant_quota < 1:
+            raise JobSpecError("tenant_quota must be >= 1")
+        if self.degrade_threshold is None:
+            object.__setattr__(self, "degrade_threshold",
+                               max(1, self.max_queue // 2))
+        if not 0 <= self.degrade_threshold <= self.max_queue:
+            raise JobSpecError(
+                "degrade_threshold must be in [0, max_queue]")
+
+
+class AdmissionController:
+    """Applies one :class:`AdmissionPolicy`; counts what it decides."""
+
+    def __init__(self, policy: AdmissionPolicy | None = None, metrics=None):
+        self.policy = policy if policy is not None else AdmissionPolicy()
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+
+    def decide(self, spec, queue_depth: int, tenant_live: int) -> str:
+        """``"admit"`` | ``"degrade"``, or raise ``ServiceOverloadError``.
+
+        Parameters
+        ----------
+        spec:
+            The :class:`~repro.service.jobs.JobSpec` being submitted.
+        queue_depth:
+            Current pending-queue depth (before this job).
+        tenant_live:
+            The submitting tenant's pending + running job count.
+        """
+        pol = self.policy
+        if queue_depth >= pol.max_queue:
+            self.metrics.inc("service.shed", reason="queue-full")
+            raise ServiceOverloadError("queue full", tenant=spec.tenant,
+                                       depth=queue_depth,
+                                       limit=pol.max_queue)
+        if tenant_live >= pol.tenant_quota:
+            self.metrics.inc("service.shed", reason="tenant-quota")
+            raise ServiceOverloadError("tenant quota exhausted",
+                                       tenant=spec.tenant,
+                                       depth=tenant_live,
+                                       limit=pol.tenant_quota)
+        if queue_depth >= pol.degrade_threshold and spec.allow_degrade:
+            self.metrics.inc("service.admitted", mode="degraded")
+            return "degrade"
+        self.metrics.inc("service.admitted", mode="exact")
+        return "admit"

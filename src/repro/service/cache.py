@@ -1,0 +1,151 @@
+"""Content-addressed, checksum-verified result cache.
+
+Results are keyed by what *determines* them — the graph's content
+digest, the strategy, the exact root set, the seed, and the degradation
+state — so repeated queries are free and recomputation after a crash is
+idempotent: the same job always lands on the same path with the same
+bytes.
+
+Every entry (schema ``repro.result/v1``) embeds a SHA-256 checksum of
+its canonical body.  :meth:`ResultCache.get` re-verifies it on every
+read: an entry that rotted at rest (bit-flip, partial write outside the
+atomic rename path, manual tampering) is **evicted and recomputed**,
+never served — the same never-silently-wrong contract the ABFT layer
+gives in-flight data.  Writes go through a temp file + ``os.replace``
+so a crash can leave at most a stray temp file, never a half-written
+entry at the final path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+
+import numpy as np
+
+from ..observability.registry import NULL_REGISTRY
+
+__all__ = ["RESULT_SCHEMA", "ResultCache", "result_key"]
+
+RESULT_SCHEMA = "repro.result/v1"
+
+
+def _canonical(payload: dict) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def result_key(graph_digest: str, strategy: str, roots, seed: int,
+               *, degraded: str | None = None) -> str:
+    """SHA-256 key of one result's full determinants.
+
+    ``degraded`` distinguishes a flagged sampled estimate from the exact
+    result of the same query — they are different artifacts and must
+    never collide.
+    """
+    roots = np.asarray(roots, dtype=np.int64)
+    h = hashlib.sha256()
+    h.update(_canonical({
+        "graph": str(graph_digest),
+        "strategy": str(strategy),
+        "seed": int(seed),
+        "degraded": degraded,
+        "num_roots": int(roots.size),
+    }).encode("utf-8"))
+    h.update(roots.tobytes())
+    return h.hexdigest()
+
+
+class ResultCache:
+    """Directory of checksummed ``repro.result/v1`` entries."""
+
+    def __init__(self, root, metrics=None):
+        self.root = str(root)
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        os.makedirs(self.root, exist_ok=True)
+
+    def path(self, key: str) -> str:
+        """Entry path; two-char fan-out keeps directories small."""
+        return os.path.join(self.root, key[:2], f"{key}.json")
+
+    @staticmethod
+    def _checksum(body: dict) -> str:
+        return hashlib.sha256(_canonical(body).encode("utf-8")).hexdigest()
+
+    def put(self, key: str, values: np.ndarray, meta: dict) -> str:
+        """Atomically materialise one result; returns its path.
+
+        Writing the same key again (crash-recovery recomputation) is a
+        no-op overwrite with identical bytes — exactly-once semantics by
+        content addressing rather than by locking.
+        """
+        body = {
+            "schema": RESULT_SCHEMA,
+            "key": str(key),
+            "meta": dict(meta),
+            "values": [float(v) for v in np.asarray(values, dtype=np.float64)],
+        }
+        doc = dict(body)
+        doc["checksum"] = self._checksum(body)
+        path = self.path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(_canonical(doc) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        self.metrics.inc("service.cache.writes")
+        return path
+
+    def get(self, key: str):
+        """Verified read: ``(values, meta)`` or ``None``.
+
+        ``None`` means *recompute* — either the entry does not exist or
+        it failed verification and was evicted (counted under
+        ``service.cache.corrupt_evicted``).
+        """
+        path = self.path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except FileNotFoundError:
+            self.metrics.inc("service.cache.misses")
+            return None
+        except (OSError, json.JSONDecodeError):
+            self._evict(path, "unreadable")
+            return None
+        if not self._intact(doc, key):
+            self._evict(path, "checksum")
+            return None
+        values = np.asarray(doc["values"], dtype=np.float64)
+        self.metrics.inc("service.cache.hits")
+        return values, dict(doc["meta"])
+
+    def verify(self, key: str) -> bool:
+        """Whether the entry exists and passes its checksum (no evict)."""
+        path = self.path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return False
+        return self._intact(doc, key)
+
+    def _intact(self, doc, key: str) -> bool:
+        if not isinstance(doc, dict) or doc.get("schema") != RESULT_SCHEMA:
+            return False
+        if doc.get("key") != key or "checksum" not in doc:
+            return False
+        body = {k: v for k, v in doc.items() if k != "checksum"}
+        try:
+            return self._checksum(body) == doc["checksum"]
+        except (TypeError, ValueError):
+            return False
+
+    def _evict(self, path: str, reason: str) -> None:
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+        self.metrics.inc("service.cache.corrupt_evicted", reason=reason)

@@ -1,0 +1,472 @@
+"""The BC service daemon: load graphs once, serve many jobs, survive
+``kill -9``.
+
+:class:`BCService` ties the service layers together around one service
+directory::
+
+    <root>/journal.jsonl   write-ahead job journal (repro.job/v1)
+    <root>/results/        content-addressed result cache (repro.result/v1)
+    <root>/spool/          cross-process submission/cancel drop box
+
+**Durability contract.**  Every externally visible state change is
+journalled (fsynced) *before* it is acknowledged, and results are
+materialised into the cache *before* their ``done`` record is written.
+So after a crash at any instant, replaying the journal reconstructs a
+state from which re-running the pending queue converges to exactly the
+terminal states a crash-free run reaches:
+
+* crash before ``submit`` landed — the client never got an ack, the job
+  does not exist;
+* crash while ``RUNNING`` — replay requeues the job (attempt count
+  preserved, so the retry budget is not reset);
+* crash after the cache write but before ``done`` — the job is requeued
+  and its first scheduling step hits the cache (content-addressed keys
+  make recomputation idempotent), so the result is never computed twice
+  *observably* and never lost.
+
+**Cross-process protocol.**  Clients never talk to the daemon directly:
+``repro service submit`` drops an atomically-renamed ticket into the
+spool, the daemon folds it in on its next poll, and ``repro service
+status`` reads the journal — which is valid at every instant — without
+coordinating with the daemon at all.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+from collections import deque
+
+from ..errors import (
+    JobNotFoundError,
+    JobSpecError,
+    ServiceOverloadError,
+)
+from ..graph.generators import make_dataset
+from ..observability.registry import NULL_REGISTRY
+from .admission import AdmissionController, AdmissionPolicy
+from .cache import ResultCache, result_key
+from .jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    PENDING,
+    RUNNING,
+    SHED,
+    JobRecord,
+    JobSpec,
+)
+from .journal import JobJournal, replay_state
+from .scheduler import Scheduler, sample_roots
+
+__all__ = ["BCService"]
+
+
+class BCService:
+    """One service instance rooted at a directory (see module docs)."""
+
+    def __init__(self, root, *, policy: AdmissionPolicy | None = None,
+                 scheduler: Scheduler | None = None, metrics=None):
+        self.root = str(root)
+        os.makedirs(self.root, exist_ok=True)
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self.journal = JobJournal(os.path.join(self.root, "journal.jsonl"),
+                                  metrics=self.metrics)
+        self.cache = ResultCache(os.path.join(self.root, "results"),
+                                 metrics=self.metrics)
+        self.spool_dir = os.path.join(self.root, "spool")
+        os.makedirs(self.spool_dir, exist_ok=True)
+        self.admission = AdmissionController(policy, metrics=self.metrics)
+        self.scheduler = (scheduler if scheduler is not None
+                          else Scheduler(metrics=self.metrics))
+        # Quarantine decisions survive restarts via `breaker` records.
+        self.scheduler.breaker.on_transition = self._journal_breaker
+        self._stop = False
+
+        state = replay_state(self.journal.records, self.journal.path)
+        self.jobs = state.jobs
+        self.queue = deque(state.pending_ids())
+        #: Jobs found RUNNING in the journal and requeued at startup.
+        self.recovered_ids = list(state.interrupted)
+        self.scheduler.breaker.restore(state.breakers)
+        if self.recovered_ids:
+            self.metrics.inc("service.jobs_recovered",
+                             float(len(self.recovered_ids)))
+        self._graphs: dict = {}
+        self._next_id = 1 + max(
+            (int(j[1:]) for j in self.jobs if j.startswith("j")
+             and j[1:].isdigit()), default=0)
+
+    # -- infrastructure ------------------------------------------------
+    def _journal_breaker(self, key, state, failures) -> None:
+        graph_key, strategy = key
+        self.journal.append("breaker", graph_key=graph_key,
+                            strategy=strategy, state=state,
+                            failures=int(failures))
+
+    def _graph(self, spec: JobSpec):
+        gkey = (spec.graph, int(spec.scale_factor), int(spec.graph_seed))
+        g = self._graphs.get(gkey)
+        if g is None:
+            with self.metrics.span("service.load_graph", graph=spec.graph):
+                g = make_dataset(spec.graph, scale_factor=spec.scale_factor,
+                                 seed=spec.graph_seed)
+            self._graphs[gkey] = g
+            self.metrics.inc("service.graphs_loaded")
+        return g
+
+    def _tenant_live(self, tenant: str) -> int:
+        return sum(1 for j in self.jobs.values()
+                   if j.spec.tenant == tenant
+                   and j.state in (PENDING, RUNNING))
+
+    # -- client surface ------------------------------------------------
+    def submit(self, spec) -> JobRecord:
+        """Admit one job (or shed it with ``ServiceOverloadError``).
+
+        Returns the queued :class:`JobRecord`; its ``submit`` journal
+        record is durable before this method returns.
+        """
+        if isinstance(spec, dict):
+            spec = JobSpec.from_dict(spec)
+        if not spec.job_id:
+            spec = spec.with_id(f"j{self._next_id:06d}")
+            self._next_id += 1
+        if spec.job_id in self.jobs:
+            raise JobSpecError(f"duplicate job id {spec.job_id!r}")
+        try:
+            mode = self.admission.decide(spec, len(self.queue),
+                                         self._tenant_live(spec.tenant))
+        except ServiceOverloadError as exc:
+            # Shedding is journalled too: a shed job has a queryable
+            # terminal state instead of silently vanishing.
+            rec = self.journal.append("shed", job=spec.to_dict(),
+                                      reason=str(exc))
+            self.jobs[spec.job_id] = JobRecord(
+                spec=spec, state=SHED, submit_seq=rec["seq"],
+                error=str(exc))
+            raise
+        rec = self.journal.append("submit", job=spec.to_dict(), mode=mode)
+        job = JobRecord(spec=spec, state=PENDING, submit_seq=rec["seq"],
+                        admit_degraded=(mode == "degrade"))
+        self.jobs[spec.job_id] = job
+        self.queue.append(spec.job_id)
+        return job
+
+    def status(self, job_id: str | None = None):
+        """One job's status dict, or every job's (submit order)."""
+        if job_id is not None:
+            job = self.jobs.get(job_id)
+            if job is None:
+                raise JobNotFoundError(job_id)
+            return job.status_dict()
+        ordered = sorted(self.jobs.values(), key=lambda j: j.submit_seq)
+        return [j.status_dict() for j in ordered]
+
+    def service_status(self) -> dict:
+        """Aggregate health row (what ``service status`` prints first)."""
+        counts: dict = {}
+        for job in self.jobs.values():
+            counts[job.state] = counts.get(job.state, 0) + 1
+        return {
+            "queue_depth": len(self.queue),
+            "max_queue": self.admission.policy.max_queue,
+            "overloaded": len(self.queue)
+            >= self.admission.policy.degrade_threshold,
+            "jobs": counts,
+            "graphs_loaded": len(self._graphs),
+            "recovered": list(self.recovered_ids),
+            "breakers": {
+                "/".join(k): dict(v) for k, v in
+                self.scheduler.breaker.snapshot().items()
+                if v["state"] != "closed" or v["failures"]
+            },
+        }
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a PENDING job; ``False`` if it already left the queue."""
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise JobNotFoundError(job_id)
+        if job.state != PENDING:
+            return False
+        self.journal.append("cancel", job_id=job_id, reason="client cancel")
+        job.state = CANCELLED
+        job.error = "client cancel"
+        try:
+            self.queue.remove(job_id)
+        except ValueError:
+            pass
+        self.metrics.inc("service.jobs_cancelled")
+        return True
+
+    def result(self, job_id: str):
+        """A DONE job's ``(values, meta)``, self-healing on cache rot.
+
+        A corrupt cache entry is evicted by the verified read and the
+        result recomputed from the job's determinants — same key, same
+        bytes — so corruption at rest is repaired, never served.
+        """
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise JobNotFoundError(job_id)
+        if job.state != DONE or job.result_key is None:
+            raise JobSpecError(
+                f"job {job_id!r} has no result (state={job.state})")
+        hit = self.cache.get(job.result_key)
+        if hit is not None:
+            return hit
+        self.metrics.inc("service.results_healed")
+        return self._recompute(job)
+
+    def _recompute(self, job: JobRecord):
+        """Re-materialise a DONE job's result (idempotent by keying).
+
+        The ``done`` journal record carries everything the result is a
+        function of — for degraded jobs that includes the sample count —
+        so the healed entry lands on the same key with the same values.
+        """
+        spec = job.spec
+        g = self._graph(spec)
+        roots = sample_roots(g, spec)
+        dev = self.scheduler._pick_device()
+        if job.degraded_reason is not None:
+            k = (int(job.samples) if job.samples
+                 else max(1, int(roots.size
+                                 * self.scheduler.overload_sample_fraction)))
+            values, _ = self.scheduler._sampled_estimate(dev, g, spec,
+                                                         roots, k)
+        else:
+            run = dev.device.run_bc(g, strategy=spec.strategy, roots=roots,
+                                    metrics=self.metrics)
+            values = run.bc
+        meta = {"job_id": spec.job_id, "exact": bool(job.exact),
+                "degraded_reason": job.degraded_reason,
+                "device": job.device, "attempts": int(job.attempt),
+                "sim_seconds": float(job.sim_seconds),
+                "samples": job.samples}
+        self.cache.put(job.result_key, values, meta)
+        return self.cache.get(job.result_key)
+
+    # -- execution -----------------------------------------------------
+    def _candidate_keys(self, job: JobRecord, g, roots) -> list:
+        """Result keys this job could already have materialised.
+
+        Covers the crash window between ``cache.put`` and the ``done``
+        record: the admitted mode's key, plus the deadline-degraded key
+        when the job could have taken that path.
+        """
+        spec = job.spec
+        degraded = "overload" if job.admit_degraded else None
+        keys = [(result_key(g.digest(), spec.strategy, roots, spec.seed,
+                            degraded=degraded), degraded)]
+        if (degraded is None and spec.deadline_seconds is not None
+                and spec.allow_degrade):
+            keys.append((result_key(g.digest(), spec.strategy, roots,
+                                    spec.seed, degraded="deadline"),
+                         "deadline"))
+        return keys
+
+    def process_next(self) -> JobRecord | None:
+        """Run the queue head to a terminal state; ``None`` if idle."""
+        while self.queue:
+            job_id = self.queue.popleft()
+            job = self.jobs.get(job_id)
+            if job is not None and job.state == PENDING:
+                return self._execute(job)
+        return None
+
+    def _execute(self, job: JobRecord) -> JobRecord:
+        spec = job.spec
+        g = self._graph(spec)
+        roots = sample_roots(g, spec)
+
+        # Exactly-once fast path: a recovered job whose crash fell
+        # between the cache write and the `done` record finds its result
+        # already materialised and intact — acknowledge, don't recompute.
+        for key, degraded in self._candidate_keys(job, g, roots):
+            hit = self.cache.get(key)
+            if hit is None:
+                continue
+            _, meta = hit
+            self.journal.append(
+                "start", job_id=spec.job_id, attempt=job.attempt + 1,
+                device=meta.get("device"))
+            job.attempt += 1
+            self._finish_done(job, key, exact=bool(meta.get("exact",
+                                                            degraded is None)),
+                              degraded_reason=meta.get("degraded_reason",
+                                                       degraded),
+                              device=meta.get("device"),
+                              sim_seconds=float(meta.get("sim_seconds", 0.0)),
+                              samples=meta.get("samples"))
+            self.metrics.inc("service.cache.replayed")
+            return job
+
+        def on_start(attempt: int, device: str) -> None:
+            self.journal.append("start", job_id=spec.job_id,
+                                attempt=attempt, device=device)
+            job.state = RUNNING
+            job.attempt = attempt
+            job.device = device
+
+        def on_requeue(attempt: int, delay: float, reason: str) -> None:
+            self.journal.append("requeue", job_id=spec.job_id,
+                                attempt=attempt, delay=delay, reason=reason)
+            job.state = PENDING
+            job.backoff_delays.append(delay)
+
+        degrade_reason = "overload" if job.admit_degraded else None
+        outcome = self.scheduler.execute(
+            spec, g, prior_attempts=job.attempt,
+            degrade_reason=degrade_reason,
+            on_start=on_start, on_requeue=on_requeue)
+
+        if outcome.ok:
+            key = result_key(g.digest(), spec.strategy, roots, spec.seed,
+                             degraded=outcome.degraded_reason)
+            # Materialise BEFORE acknowledging: the `done` record must
+            # never point at a result that might not exist.
+            self.cache.put(key, outcome.values, {
+                "job_id": spec.job_id, "exact": outcome.exact,
+                "degraded_reason": outcome.degraded_reason,
+                "device": outcome.device, "attempts": outcome.attempts,
+                "sim_seconds": outcome.sim_seconds,
+                "samples": outcome.samples})
+            job.attempt = outcome.attempts
+            job.device = outcome.device
+            self._finish_done(job, key, exact=outcome.exact,
+                              degraded_reason=outcome.degraded_reason,
+                              device=outcome.device,
+                              sim_seconds=outcome.sim_seconds,
+                              samples=outcome.samples)
+        else:
+            self.journal.append("fail", job_id=spec.job_id,
+                                error=outcome.error,
+                                error_kind=outcome.error_kind)
+            job.state = FAILED
+            job.attempt = max(job.attempt, outcome.attempts)
+            job.error = outcome.error
+            self.metrics.inc("service.jobs_failed",
+                             kind=outcome.error_kind or "error")
+        return job
+
+    def _finish_done(self, job: JobRecord, key: str, *, exact: bool,
+                     degraded_reason, device, sim_seconds: float,
+                     samples=None) -> None:
+        self.journal.append("done", job_id=job.job_id, result_key=key,
+                            exact=bool(exact),
+                            degraded_reason=degraded_reason,
+                            sim_seconds=float(sim_seconds), device=device,
+                            samples=samples)
+        job.state = DONE
+        job.result_key = key
+        job.exact = bool(exact)
+        job.degraded_reason = degraded_reason
+        job.device = device
+        job.sim_seconds = float(sim_seconds)
+        job.samples = samples
+        self.metrics.inc("service.jobs_done",
+                         exact="true" if exact else "false")
+
+    def run_pending(self, max_jobs: int | None = None) -> int:
+        """Drain the queue (or ``max_jobs`` of it); returns jobs run."""
+        done = 0
+        while self.queue and (max_jobs is None or done < max_jobs):
+            if self.process_next() is not None:
+                done += 1
+        return done
+
+    # -- spool (cross-process submissions) -----------------------------
+    def poll_spool(self) -> int:
+        """Fold spool tickets in (oldest first); returns tickets taken."""
+        try:
+            names = sorted(n for n in os.listdir(self.spool_dir)
+                           if n.endswith(".json"))
+        except FileNotFoundError:
+            return 0
+        taken = 0
+        for name in names:
+            path = os.path.join(self.spool_dir, name)
+            try:
+                with open(path, "r", encoding="utf-8") as fh:
+                    ticket = json.load(fh)
+            except (OSError, json.JSONDecodeError):
+                # Torn or foreign file: leave it one poll (the writer may
+                # still be renaming), then drop it.
+                self.metrics.inc("service.spool.unreadable")
+                try:
+                    os.remove(path)
+                except OSError:
+                    pass
+                continue
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            taken += 1
+            op = ticket.get("op") if isinstance(ticket, dict) else None
+            try:
+                if op == "submit":
+                    self.submit(ticket.get("job", {}))
+                elif op == "cancel":
+                    self.cancel(str(ticket.get("job_id", "")))
+                else:
+                    self.metrics.inc("service.spool.bad_op")
+            except (JobSpecError, JobNotFoundError, ServiceOverloadError):
+                # Already journalled (shed) or inherently a client error;
+                # the client sees it via `status`.
+                pass
+        return taken
+
+    # -- lifecycle -----------------------------------------------------
+    def drain(self) -> int:
+        """Graceful shutdown: take spooled work, finish the queue."""
+        self.poll_spool()
+        n = self.run_pending()
+        self.metrics.inc("service.drained", float(n))
+        return n
+
+    def close(self) -> None:
+        self.journal.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+    def serve_forever(self, *, poll_interval: float = 0.05,
+                      throttle: float = 0.0,
+                      idle_exit: float | None = None,
+                      install_signals: bool = True) -> None:
+        """Serve until SIGTERM/SIGINT (graceful drain) or ``idle_exit``
+        seconds with no work.
+
+        ``throttle`` sleeps (wall-clock) between jobs — the CI smoke
+        test uses it to widen the window for its mid-run ``SIGKILL``.
+        """
+        if install_signals:
+            def _request_stop(signum, frame):
+                self._stop = True
+
+            signal.signal(signal.SIGTERM, _request_stop)
+            signal.signal(signal.SIGINT, _request_stop)
+        idle_since = time.monotonic()
+        while not self._stop:
+            took = self.poll_spool()
+            ran = self.run_pending(max_jobs=1)
+            if throttle and ran:
+                time.sleep(throttle)
+            if took or ran or self.queue:
+                idle_since = time.monotonic()
+                continue
+            if (idle_exit is not None
+                    and time.monotonic() - idle_since >= idle_exit):
+                break
+            time.sleep(poll_interval)
+        self.drain()
+        self.close()

@@ -1,0 +1,276 @@
+"""Durable job journal: an append-only, checksummed write-ahead log.
+
+Format (``repro.job/v1``) — one record per line::
+
+    <crc32 hex, 8 chars> <canonical single-line JSON body>\\n
+
+The body always carries ``kind`` (record type) and ``seq`` (strictly
+increasing).  Appends are flushed **and fsynced** before the caller
+proceeds, so a record returned from :meth:`JobJournal.append` survives
+``kill -9`` of the daemon and the journal is the single source of truth
+for job state: ``status`` reads it, recovery replays it, and the CI
+smoke job uploads it as an artifact.
+
+Crash semantics on read:
+
+* A corrupt or incomplete **last** line is a *torn write* — exactly what
+  a SIGKILL mid-``write(2)`` leaves behind.  It is dropped, reported via
+  ``torn_tail``, and truncated away when the journal is reopened for
+  appending (the record was never acknowledged, so dropping it loses
+  nothing).
+* A corrupt line anywhere **else** raises
+  :class:`~repro.errors.JournalCorruptionError`: the file was damaged at
+  rest and recovery must not guess around the hole.
+
+:func:`replay_state` folds a record list into per-job
+:class:`~repro.service.jobs.JobRecord` state: jobs found ``RUNNING``
+(a ``start`` with no terminal record — the daemon died mid-job) are
+requeued as ``PENDING`` with their attempt count preserved, which is
+what makes restart-after-crash converge to the same terminal states a
+crash-free run reaches.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+
+from ..errors import JournalCorruptionError
+from ..observability.registry import NULL_REGISTRY
+from .jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    PENDING,
+    RUNNING,
+    SHED,
+    JobRecord,
+    JobSpec,
+    legal_transition,
+)
+
+__all__ = [
+    "JOURNAL_SCHEMA",
+    "RECORD_KINDS",
+    "JobJournal",
+    "ReplayedState",
+    "encode_record",
+    "decode_line",
+    "read_journal",
+    "replay_state",
+]
+
+JOURNAL_SCHEMA = "repro.job/v1"
+
+#: Record kinds the replayer understands.  ``open`` marks (re)openings
+#: of the journal, ``breaker`` persists circuit-breaker transitions so a
+#: quarantined (graph, strategy) pair stays quarantined across restarts.
+RECORD_KINDS = ("open", "submit", "start", "requeue", "done", "fail",
+                "cancel", "shed", "breaker")
+
+
+def encode_record(record: dict) -> str:
+    """One journal line: crc32 of the canonical JSON body, then the body."""
+    body = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    if "\n" in body:
+        raise ValueError("journal record bodies must be single-line")
+    return f"{zlib.crc32(body.encode('utf-8')) & 0xFFFFFFFF:08x} {body}\n"
+
+
+def decode_line(line: str) -> dict:
+    """Inverse of :func:`encode_record`; raises ``ValueError`` on any
+    checksum/framing problem (the caller decides torn-tail vs corrupt)."""
+    if not line.endswith("\n"):
+        raise ValueError("record not newline-terminated (torn write)")
+    raw = line[:-1]
+    if len(raw) < 10 or raw[8] != " ":
+        raise ValueError("bad framing: expected '<crc8> <json>'")
+    crc_hex, body = raw[:8], raw[9:]
+    try:
+        crc = int(crc_hex, 16)
+    except ValueError:
+        raise ValueError(f"bad checksum field {crc_hex!r}")
+    actual = zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF
+    if crc != actual:
+        raise ValueError(
+            f"checksum mismatch: recorded {crc_hex}, actual {actual:08x}"
+        )
+    try:
+        record = json.loads(body)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"checksummed body is not JSON: {exc}")
+    if not isinstance(record, dict) or "kind" not in record:
+        raise ValueError("record body must be an object with a 'kind'")
+    return record
+
+
+def read_journal(path):
+    """Read every intact record; returns ``(records, torn_tail)``.
+
+    A corrupt tail line is dropped (``torn_tail=True``); corruption
+    before the tail raises :class:`JournalCorruptionError`.  A missing
+    file reads as empty.
+    """
+    if not os.path.exists(path):
+        return [], False
+    with open(path, "r", encoding="utf-8", newline="") as fh:
+        lines = fh.readlines()
+    records = []
+    for i, line in enumerate(lines):
+        try:
+            records.append(decode_line(line))
+        except ValueError as exc:
+            if i == len(lines) - 1:
+                return records, True
+            raise JournalCorruptionError(path, i + 1, str(exc)) from exc
+    return records, False
+
+
+class JobJournal:
+    """Append-side handle on one journal file.
+
+    Opening replays the existing file (validating it), truncates a torn
+    tail, and appends an ``open`` record — so every daemon start is
+    itself journalled and the sequence counter continues from the last
+    durable record.
+    """
+
+    def __init__(self, path, metrics=None):
+        self.path = str(path)
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self.records, torn = read_journal(self.path)
+        self.torn_tail_truncated = torn
+        if torn:
+            # Drop the unacknowledged torn record so the next append
+            # starts on a clean line boundary.
+            good = "".join(encode_record(r) for r in self.records)
+            with open(self.path, "w", encoding="utf-8", newline="") as fh:
+                fh.write(good)
+                fh.flush()
+                os.fsync(fh.fileno())
+            self.metrics.inc("service.journal.torn_tail_truncated")
+        self._seq = max((r.get("seq", 0) for r in self.records), default=0)
+        self._fh = open(self.path, "a", encoding="utf-8", newline="")
+        self.append("open", schema=JOURNAL_SCHEMA)
+
+    @property
+    def next_seq(self) -> int:
+        return self._seq + 1
+
+    def append(self, kind: str, **fields) -> dict:
+        """Durably append one record; returns it (with its ``seq``)."""
+        if kind not in RECORD_KINDS:
+            raise ValueError(f"unknown journal record kind {kind!r}")
+        self._seq += 1
+        record = {"kind": kind, "seq": self._seq, **fields}
+        self._fh.write(encode_record(record))
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self.records.append(record)
+        self.metrics.inc("service.journal.records", kind=kind)
+        return record
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+
+class ReplayedState:
+    """Outcome of folding a journal: jobs, breaker state, statistics."""
+
+    def __init__(self):
+        self.jobs: dict = {}            # job_id -> JobRecord
+        #: (graph_key, strategy) -> last journalled breaker snapshot.
+        self.breakers: dict = {}
+        #: Jobs found RUNNING and requeued (daemon died mid-job).
+        self.interrupted: list = []
+        self.illegal_transitions: list = []
+
+    def pending_ids(self) -> list:
+        """PENDING job ids in submit order (the recovered queue)."""
+        pend = [j for j in self.jobs.values() if j.state == PENDING]
+        return [j.job_id for j in sorted(pend, key=lambda j: j.submit_seq)]
+
+
+def replay_state(records, path: str = "<journal>") -> ReplayedState:
+    """Fold journal ``records`` into the service state they describe."""
+    state = ReplayedState()
+    for record in records:
+        kind = record.get("kind")
+        if kind in ("open", None):
+            continue
+        if kind == "breaker":
+            key = (record.get("graph_key", ""), record.get("strategy", ""))
+            state.breakers[key] = {
+                "state": record.get("state", "closed"),
+                "failures": int(record.get("failures", 0)),
+            }
+            continue
+        if kind == "submit":
+            spec = JobSpec.from_dict(record["job"])
+            job = JobRecord(spec=spec, state=PENDING,
+                            submit_seq=int(record.get("seq", 0)),
+                            admit_degraded=(record.get("mode")
+                                            == "degrade"))
+            state.jobs[spec.job_id] = job
+            continue
+        if kind == "shed":
+            spec = JobSpec.from_dict(record["job"])
+            job = JobRecord(spec=spec, state=SHED,
+                            submit_seq=int(record.get("seq", 0)),
+                            error=record.get("reason"))
+            state.jobs[spec.job_id] = job
+            continue
+        job = state.jobs.get(record.get("job_id"))
+        if job is None:
+            raise JournalCorruptionError(
+                path, int(record.get("seq", 0)),
+                f"{kind} record for never-submitted job "
+                f"{record.get('job_id')!r}",
+            )
+        new_state = {"start": RUNNING, "requeue": PENDING, "done": DONE,
+                     "fail": FAILED, "cancel": CANCELLED}[kind]
+        if not legal_transition(job.state, new_state):
+            state.illegal_transitions.append(
+                (job.job_id, job.state, new_state))
+            continue
+        job.state = new_state
+        if kind == "start":
+            job.attempt = int(record.get("attempt", job.attempt + 1))
+            job.device = record.get("device")
+        elif kind == "requeue":
+            if "delay" in record:
+                job.backoff_delays.append(float(record["delay"]))
+        elif kind == "done":
+            job.result_key = record.get("result_key")
+            job.exact = bool(record.get("exact", True))
+            job.degraded_reason = record.get("degraded_reason")
+            job.sim_seconds = float(record.get("sim_seconds", 0.0))
+            job.device = record.get("device", job.device)
+            if record.get("samples") is not None:
+                job.samples = int(record["samples"])
+        elif kind == "fail":
+            job.error = record.get("error")
+        elif kind == "cancel":
+            job.error = record.get("reason")
+    # A job still RUNNING after the fold means the daemon died mid-job:
+    # its done/fail record never made it to stable storage, so the only
+    # correct recovery is to run it again (results are content-addressed
+    # and written before `done`, so recomputation is idempotent).
+    for job in state.jobs.values():
+        if job.state == RUNNING:
+            job.state = PENDING
+            job.recovered = True
+            state.interrupted.append(job.job_id)
+    return state

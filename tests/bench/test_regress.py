@@ -18,8 +18,11 @@ from repro.errors import BenchFormatError
 from repro.gpusim import GTX_TITAN, Device
 from repro.observability import dumps, write_json
 
+# Kernel-only grid (the service load rows have their own tests in
+# tests/service/test_loadgen.py and are scenario-keyed, not dataset-keyed).
 GRID_KW = dict(scale_factor=8192, roots=4, seed=0,
-               datasets=("smallworld", "kron_g500-logn20"))
+               datasets=("smallworld", "kron_g500-logn20"),
+               include_service=False)
 
 
 def _doc(rows, **config):
@@ -143,7 +146,13 @@ class TestGrid:
         assert all(r["sampling_chose_edge_parallel"] is not None
                    for r in sampling)
         assert doc["config"]["n_samps"] < doc["config"]["roots"]
-        assert set(DATASET_NAMES) == {r["dataset"] for r in doc["results"]}
+        # Table II datasets plus the service load-generator rows.
+        assert set(DATASET_NAMES) | {"service-load"} == \
+            {r["dataset"] for r in doc["results"]}
+        service = [r for r in doc["results"]
+                   if r["dataset"] == "service-load"]
+        assert {r["strategy"] for r in service} >= {"steady", "overload"}
+        assert all(r["makespan_cycles"] > 0 for r in service)
 
     def test_straggler_device_regresses_every_pair(self):
         """Acceptance: a deliberately slowed device must trip the gate,

@@ -58,6 +58,35 @@ class TestWorkerCrashRecovery:
         )
         assert np.allclose(got, brandes_reference(fig1))
 
+    def test_recovery_is_metered(self, fig1):
+        """Satellite contract: serial recovery must be observable — a
+        `pool.recomputed_chunks` counter and a timed `pool.recompute`
+        span sized by how many chunks fell back."""
+        from repro.observability import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        parallel_betweenness_centrality(
+            fig1, num_workers=2, chunks_per_worker=2,
+            _crash_chunks=(0, 1), metrics=metrics,
+        )
+        recomputed = [c for c in metrics.counters()
+                      if c.name == "pool.recomputed_chunks"]
+        # A dead worker can take the whole pool (and so every chunk)
+        # with it; the counter tracks however many actually fell back.
+        assert recomputed and recomputed[0].value >= 2
+        assert recomputed[0].labels == {"path": "serial"}
+
+        def walk(spans):
+            for sp in spans:
+                yield sp
+                yield from walk(sp.children)
+
+        recompute = [sp for sp in walk(metrics.root_spans)
+                     if sp.name == "pool.recompute"]
+        assert len(recompute) == 1
+        assert recompute[0].labels == {"chunks": int(recomputed[0].value)}
+        assert recompute[0].end is not None
+
     def test_crash_with_source_subset(self, small_sw):
         got = parallel_betweenness_centrality(
             small_sw, sources=range(0, 30), num_workers=2,

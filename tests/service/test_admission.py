@@ -1,0 +1,61 @@
+"""Admission policy: bounded queue, overload mode, tenant quotas."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import JobSpecError, ServiceOverloadError
+from repro.service import AdmissionController, AdmissionPolicy, JobSpec
+
+
+def spec(**kw):
+    kw.setdefault("job_id", "j000001")
+    kw.setdefault("scale_factor", 64)
+    return JobSpec(**kw)
+
+
+def test_policy_defaults_and_validation():
+    pol = AdmissionPolicy(max_queue=10)
+    assert pol.degrade_threshold == 5
+    with pytest.raises(JobSpecError):
+        AdmissionPolicy(max_queue=0)
+    with pytest.raises(JobSpecError):
+        AdmissionPolicy(max_queue=4, degrade_threshold=9)
+    with pytest.raises(JobSpecError):
+        AdmissionPolicy(tenant_quota=0)
+
+
+def test_admit_below_threshold():
+    ctl = AdmissionController(AdmissionPolicy(max_queue=8))
+    assert ctl.decide(spec(), queue_depth=0, tenant_live=0) == "admit"
+
+
+def test_degrade_in_overload_mode_only_when_allowed():
+    ctl = AdmissionController(AdmissionPolicy(max_queue=8,
+                                              degrade_threshold=2))
+    assert ctl.decide(spec(), queue_depth=3, tenant_live=0) == "degrade"
+    # a job that forbids degradation still gets an exact slot
+    strict = spec(allow_degrade=False)
+    assert ctl.decide(strict, queue_depth=3, tenant_live=0) == "admit"
+
+
+def test_full_queue_sheds_with_typed_error():
+    ctl = AdmissionController(AdmissionPolicy(max_queue=4))
+    with pytest.raises(ServiceOverloadError) as exc:
+        ctl.decide(spec(), queue_depth=4, tenant_live=0)
+    assert exc.value.limit == 4
+    assert "queue full" in str(exc.value)
+
+
+def test_tenant_quota_sheds():
+    ctl = AdmissionController(AdmissionPolicy(max_queue=64, tenant_quota=2))
+    with pytest.raises(ServiceOverloadError) as exc:
+        ctl.decide(spec(tenant="acme"), queue_depth=0, tenant_live=2)
+    assert exc.value.tenant == "acme"
+    assert "quota" in str(exc.value)
+
+
+def test_disable_overload_mode():
+    pol = AdmissionPolicy(max_queue=4, degrade_threshold=4)
+    ctl = AdmissionController(pol)
+    assert ctl.decide(spec(), queue_depth=3, tenant_live=0) == "admit"

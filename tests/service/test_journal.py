@@ -1,0 +1,195 @@
+"""Journal format, torn-tail semantics, and the crash-replay grid."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.errors import JournalCorruptionError
+from repro.service import (
+    DONE,
+    PENDING,
+    JobJournal,
+    JobSpec,
+    decode_line,
+    encode_record,
+    read_journal,
+    replay_state,
+)
+
+
+def spec(i=1, **kw):
+    kw.setdefault("graph", "smallworld")
+    kw.setdefault("scale_factor", 64)
+    kw.setdefault("roots", 2)
+    return JobSpec(job_id=f"j{i:06d}", **kw)
+
+
+def test_encode_decode_roundtrip():
+    rec = {"kind": "submit", "seq": 3, "job": spec().to_dict()}
+    assert decode_line(encode_record(rec)) == rec
+
+
+def test_decode_rejects_bad_checksum_framing_and_json():
+    line = encode_record({"kind": "open", "seq": 1})
+    flipped = ("0" if line[0] != "0" else "1") + line[1:]
+    with pytest.raises(ValueError, match="checksum"):
+        decode_line(flipped)
+    with pytest.raises(ValueError, match="torn"):
+        decode_line(line[:-1])  # no trailing newline
+    with pytest.raises(ValueError, match="framing"):
+        decode_line("zz\n")
+
+
+def test_append_is_durable_and_seq_monotonic(tmp_path):
+    path = tmp_path / "j.jsonl"
+    with JobJournal(path) as j:
+        j.append("submit", job=spec().to_dict())
+        j.append("start", job_id="j000001", attempt=1, device="dev0")
+    records, torn = read_journal(path)
+    assert not torn
+    kinds = [r["kind"] for r in records]
+    assert kinds == ["open", "submit", "start"]
+    seqs = [r["seq"] for r in records]
+    assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+
+
+def test_reopen_continues_sequence(tmp_path):
+    path = tmp_path / "j.jsonl"
+    with JobJournal(path) as j:
+        j.append("submit", job=spec().to_dict())
+        last = j.records[-1]["seq"]
+    with JobJournal(path) as j2:
+        assert j2.records[-1]["kind"] == "open"
+        assert j2.records[-1]["seq"] > last
+
+
+def test_torn_tail_is_dropped_and_truncated(tmp_path):
+    path = tmp_path / "j.jsonl"
+    with JobJournal(path) as j:
+        j.append("submit", job=spec().to_dict())
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write('deadbeef {"kind":"done","seq"')  # SIGKILL mid-write
+    records, torn = read_journal(path)
+    assert torn and [r["kind"] for r in records] == ["open", "submit"]
+    # Reopening truncates the torn line and keeps appending cleanly.
+    with JobJournal(path) as j2:
+        assert j2.torn_tail_truncated
+    records2, torn2 = read_journal(path)
+    assert not torn2
+    assert [r["kind"] for r in records2] == ["open", "submit", "open"]
+
+
+def test_interior_corruption_raises(tmp_path):
+    path = tmp_path / "j.jsonl"
+    with JobJournal(path) as j:
+        j.append("submit", job=spec().to_dict())
+        j.append("start", job_id="j000001", attempt=1, device="dev0")
+    lines = open(path, encoding="utf-8").readlines()
+    lines[1] = "00000000 " + lines[1][9:]  # corrupt a non-tail record
+    open(path, "w", encoding="utf-8").writelines(lines)
+    with pytest.raises(JournalCorruptionError) as exc:
+        read_journal(path)
+    assert exc.value.line_no == 2
+
+
+def test_replay_requeues_running_jobs_with_attempts():
+    s = spec()
+    records = [
+        {"kind": "open", "seq": 1},
+        {"kind": "submit", "seq": 2, "job": s.to_dict()},
+        {"kind": "start", "seq": 3, "job_id": s.job_id, "attempt": 1,
+         "device": "dev0"},
+        {"kind": "requeue", "seq": 4, "job_id": s.job_id, "attempt": 1,
+         "delay": 0.03, "reason": "RankFailure"},
+        {"kind": "start", "seq": 5, "job_id": s.job_id, "attempt": 2,
+         "device": "dev1"},
+    ]
+    state = replay_state(records)
+    job = state.jobs[s.job_id]
+    assert job.state == PENDING and job.recovered
+    assert job.attempt == 2  # retry budget is resumed, not reset
+    assert state.interrupted == [s.job_id]
+    assert state.pending_ids() == [s.job_id]
+    assert job.backoff_delays == [0.03]
+
+
+def test_replay_every_truncation_point_never_loses_or_duplicates(tmp_path):
+    """The crash grid: replaying any journal prefix yields a state from
+    which every submitted job is either recoverable (pending/running->
+    pending) or already terminal — never absent, never duplicated."""
+    s1, s2 = spec(1), spec(2, seed=5)
+    full = [
+        {"kind": "open", "seq": 1},
+        {"kind": "submit", "seq": 2, "job": s1.to_dict()},
+        {"kind": "submit", "seq": 3, "job": s2.to_dict()},
+        {"kind": "start", "seq": 4, "job_id": s1.job_id, "attempt": 1,
+         "device": "dev0"},
+        {"kind": "done", "seq": 5, "job_id": s1.job_id, "result_key": "k1",
+         "exact": True, "sim_seconds": 0.1, "device": "dev0"},
+        {"kind": "start", "seq": 6, "job_id": s2.job_id, "attempt": 1,
+         "device": "dev1"},
+        {"kind": "requeue", "seq": 7, "job_id": s2.job_id, "attempt": 1,
+         "delay": 0.05, "reason": "oom"},
+        {"kind": "start", "seq": 8, "job_id": s2.job_id, "attempt": 2,
+         "device": "dev1"},
+        {"kind": "done", "seq": 9, "job_id": s2.job_id, "result_key": "k2",
+         "exact": True, "sim_seconds": 0.2, "device": "dev1"},
+    ]
+    submitted_at = {s1.job_id: 2, s2.job_id: 3}
+    for cut in range(len(full) + 1):
+        state = replay_state(full[:cut])
+        seen = set()
+        for job_id, at in submitted_at.items():
+            if cut >= at:
+                assert job_id in state.jobs, (cut, job_id)
+                assert job_id not in seen
+                seen.add(job_id)
+                job = state.jobs[job_id]
+                # never an un-runnable limbo state
+                assert job.state in (PENDING, DONE)
+            else:
+                assert job_id not in state.jobs
+        assert not state.illegal_transitions
+
+
+def test_replay_rejects_record_for_unknown_job():
+    records = [{"kind": "start", "seq": 1, "job_id": "ghost", "attempt": 1,
+                "device": "dev0"}]
+    with pytest.raises(JournalCorruptionError):
+        replay_state(records)
+
+
+def test_breaker_records_survive_replay():
+    records = [
+        {"kind": "breaker", "seq": 1, "graph_key": "abc", "strategy":
+         "sampling", "state": "open", "failures": 3},
+        {"kind": "breaker", "seq": 2, "graph_key": "abc", "strategy":
+         "sampling", "state": "half-open", "failures": 3},
+    ]
+    state = replay_state(records)
+    assert state.breakers[("abc", "sampling")]["state"] == "half-open"
+
+
+def test_torn_tail_after_every_record_boundary(tmp_path):
+    """Appending garbage after any durable prefix still reads back the
+    full prefix (torn tail drops exactly the unacknowledged bytes)."""
+    path = tmp_path / "j.jsonl"
+    s = spec()
+    with JobJournal(path) as j:
+        j.append("submit", job=s.to_dict())
+        j.append("start", job_id=s.job_id, attempt=1, device="dev0")
+        j.append("done", job_id=s.job_id, result_key="k", exact=True,
+                 sim_seconds=0.1, device="dev0")
+    whole = open(path, "rb").read()
+    lines = whole.decode("utf-8").splitlines(keepends=True)
+    for n in range(1, len(lines) + 1):
+        prefix = "".join(lines[:n])
+        for garbage in ("", '1234 {"kind":', "xx"):
+            p = tmp_path / f"cut{n}_{len(garbage)}.jsonl"
+            p.write_text(prefix + garbage, encoding="utf-8")
+            records, torn = read_journal(p)
+            assert len(records) == n
+            assert torn == bool(garbage)
+            replay_state(records)  # never raises on a clean prefix

@@ -1,0 +1,74 @@
+"""Load generator: determinism, scenario shapes, bench-grid citizenship."""
+
+from __future__ import annotations
+
+from repro.bench import run_bench_grid, diff_bench
+from repro.observability import MetricsRegistry, dumps
+from repro.service import SCENARIOS, LoadScenario, run_load_scenario, \
+    service_bench_rows
+
+
+def test_scenarios_are_deterministic():
+    for scenario in SCENARIOS:
+        a = run_load_scenario(scenario, seed=0)
+        b = run_load_scenario(scenario, seed=0)
+        assert dumps(a) == dumps(b)
+    assert dumps(run_load_scenario(SCENARIOS[0], seed=1)) != \
+        dumps(run_load_scenario(SCENARIOS[0], seed=0))
+
+
+def test_steady_scenario_admits_everything_exactly():
+    row = run_load_scenario(SCENARIOS[0], seed=0)
+    assert row["strategy"] == "steady"
+    assert row["jobs_completed"] == row["jobs_offered"]
+    assert row["shed_rate"] == 0.0
+    assert row["degraded_rate"] == 0.0
+    assert row["p50_latency"] > 0 and row["p99_latency"] >= row["p50_latency"]
+
+
+def test_overload_scenario_sheds_and_degrades():
+    """Saturation must be visible: load is shed (bounded queue) and a
+    share of admitted jobs is downgraded to flagged estimates, which is
+    what keeps p99 bounded instead of growing with the backlog."""
+    row = run_load_scenario(SCENARIOS[1], seed=0)
+    assert row["strategy"] == "overload"
+    assert row["shed_rate"] > 0
+    assert row["degraded_rate"] > 0
+    assert row["jobs_completed"] < row["jobs_offered"]
+    steady = run_load_scenario(SCENARIOS[0], seed=0)
+    assert row["p99_latency"] < 100 * steady["p99_latency"]
+
+
+def test_rows_are_bench_grid_citizens():
+    rows = service_bench_rows(seed=0)
+    assert [(r["dataset"], r["strategy"]) for r in rows] == \
+        [("service-load", s.name) for s in SCENARIOS]
+    for row in rows:
+        assert row["makespan_cycles"] > 0
+        assert row["sim_seconds"] > 0
+        assert row["jobs_per_sec"] > 0
+
+
+def test_grid_appends_service_rows_and_diffs_clean():
+    kw = dict(scale_factor=2048, roots=4, seed=0, datasets=("smallworld",))
+    doc, wall = run_bench_grid(include_service=True, **kw)
+    service = [r for r in doc["results"] if r["dataset"] == "service-load"]
+    assert {r["strategy"] for r in service} == {s.name for s in SCENARIOS}
+    assert "service-load" in wall
+    bare, _ = run_bench_grid(include_service=False, **kw)
+    assert not [r for r in bare["results"]
+                if r["dataset"] == "service-load"]
+    # Same-seed rerun ratchets clean through the default diff metric.
+    again, _ = run_bench_grid(include_service=True, **kw)
+    diff = diff_bench(doc, again)
+    assert not diff.has_regressions
+    assert {r.status for r in diff.rows} == {"unchanged"}
+
+
+def test_loadgen_records_metrics():
+    metrics = MetricsRegistry()
+    scenario = LoadScenario("tiny", jobs=4, arrival_rate=1.0,
+                            scale_factor=128)
+    run_load_scenario(scenario, seed=0, metrics=metrics)
+    names = {c.name for c in metrics.counters()}
+    assert "service.admitted" in names
