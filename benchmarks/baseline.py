@@ -40,10 +40,10 @@ __all__ = ["BENCH_SCHEMA", "DATASET_NAMES", "STRATEGY_NAMES",
 
 
 def run_baseline(scale_factor: int = 1024, roots: int = 16, seed: int = 0,
-                 n_samps: int | None = None):
+                 n_samps: int | None = None, fold: bool = True):
     """Return ``(document, wall_per_run)`` for the baseline sweep."""
     return run_bench_grid(scale_factor=scale_factor, roots=roots, seed=seed,
-                          n_samps=n_samps)
+                          n_samps=n_samps, fold=fold)
 
 
 def main(argv=None) -> int:
@@ -54,12 +54,17 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--n-samps", type=int, default=None,
                         help="sampling-phase size (default: half of --roots)")
+    parser.add_argument("--no-fold", action="store_true",
+                        help="skip the degree-1 folding preprocess "
+                             "(regenerates the pre-fold comparison baseline, "
+                             "benchmarks/BENCH_prefold.json)")
     args = parser.parse_args(argv)
 
     t0 = time.perf_counter()
     doc, wall_per_run = run_baseline(scale_factor=args.scale_factor,
                                      roots=args.roots, seed=args.seed,
-                                     n_samps=args.n_samps)
+                                     n_samps=args.n_samps,
+                                     fold=not args.no_fold)
     doc["timing"] = {
         "wall_seconds": time.perf_counter() - t0,
         "per_run": wall_per_run,

@@ -16,6 +16,13 @@ from .edge_parallel import bc_edge_parallel, edge_parallel_root
 from .engine import run_root
 from .frontier import ForwardResult, forward_sweep
 from .hybrid import DEFAULT_ALPHA, DEFAULT_BETA, select_strategy
+from .preprocess import (
+    FOLD_SCHEMA,
+    FoldResult,
+    fold_degree_one,
+    folded_betweenness_centrality,
+    per_root_correction,
+)
 from .policies import (
     EDGE_PARALLEL,
     GPU_FAN,
@@ -57,6 +64,11 @@ __all__ = [
     "dependency_accumulation",
     "accumulate_level",
     "run_root",
+    "FOLD_SCHEMA",
+    "FoldResult",
+    "fold_degree_one",
+    "folded_betweenness_centrality",
+    "per_root_correction",
     "bc_work_efficient",
     "work_efficient_root",
     "WorkEfficientState",

@@ -31,6 +31,7 @@ def accumulate_level(
     sigma: np.ndarray,
     delta: np.ndarray,
     sigma_ratio_scale: float = 1.0,
+    target_weights: np.ndarray | None = None,
 ) -> None:
     """Compute ``delta`` for all vertices of one level, in place.
 
@@ -38,6 +39,12 @@ def accumulate_level(
     the successors' stored sigmas were divided by ``f`` during the
     forward sweep, the true ratio ``sigma_w / sigma_v`` equals the
     stored ratio divided by ``f`` (pass ``1 / f``).
+
+    ``target_weights`` generalises the ``1 +`` endpoint term: vertex
+    ``v`` counts as ``target_weights[v]`` targets instead of one.  The
+    degree-1 folding transform (:mod:`repro.bc.preprocess`) uses this
+    to make one core vertex stand for its whole absorbed subtree;
+    ``None`` keeps the classic unit-weight accumulation.
     """
     if level.size == 0:
         return
@@ -52,7 +59,8 @@ def accumulate_level(
         return
     nbrs = nbrs[succ]
     owner = owner[succ]
-    contrib = (1.0 + delta[nbrs]) / sigma[nbrs]
+    endpoint = 1.0 if target_weights is None else target_weights[nbrs]
+    contrib = (endpoint + delta[nbrs]) / sigma[nbrs]
     acc = np.zeros(level.size, dtype=np.float64)
     np.add.at(acc, owner, contrib)
     delta[level] = sigma[level] * acc * sigma_ratio_scale
@@ -62,6 +70,7 @@ def dependency_accumulation(
     g: CSRGraph,
     fwd: ForwardResult,
     on_level=None,
+    target_weights: np.ndarray | None = None,
 ) -> np.ndarray:
     """Run Stage 2 for one root; returns the ``delta`` array.
 
@@ -73,6 +82,9 @@ def dependency_accumulation(
     on_level:
         Optional callback ``on_level(depth, level)`` invoked per level,
         mirroring the forward sweep's hook (used for cost charging).
+    target_weights:
+        Optional per-vertex target multiplicities (see
+        :func:`accumulate_level`); ``None`` means unit weights.
     """
     n = g.num_vertices
     delta = np.zeros(n, dtype=np.float64)
@@ -84,7 +96,8 @@ def dependency_accumulation(
         if scales is not None and depth + 1 < scales.size:
             ratio_scale = 1.0 / scales[depth + 1]
         accumulate_level(g, level, fwd.distances, fwd.sigma, delta,
-                         sigma_ratio_scale=ratio_scale)
+                         sigma_ratio_scale=ratio_scale,
+                         target_weights=target_weights)
         if on_level is not None:
             on_level(depth, level)
     return delta

@@ -12,7 +12,10 @@ Trade-off (the same one the paper's strategies navigate): every step
 touches all m edges for all k roots, so batching behaves like the
 edge-parallel method — superb on small-diameter graphs (few steps,
 regular memory traffic, NumPy/BLAS speed) and wasteful on high-diameter
-ones, where the queue-based engine of :mod:`repro.bc.api` wins.
+ones, where the queue-based engine of :mod:`repro.bc.api` wins.  The
+simulated device exposes this trade-off as the first-class ``batched``
+strategy (:meth:`repro.gpusim.Device.run_bc`), gated by the same
+depth-classification rule as Algorithm 5.
 
 Values are exact and equal to every other implementation; sigma
 overflow (possible on deep traversals, which are not this path's
@@ -25,7 +28,9 @@ from __future__ import annotations
 import numpy as np
 
 from ..graph.csr import CSRGraph
+from ..observability.registry import NULL_REGISTRY
 from .brandes import normalize_bc
+from .preprocess import FoldResult, fold_degree_one, per_root_correction
 
 __all__ = ["batched_betweenness_centrality", "batched_dependencies"]
 
@@ -39,9 +44,25 @@ def _adjacency(g: CSRGraph):
 
 
 def batched_dependencies(g: CSRGraph, roots: np.ndarray,
-                         A=None) -> np.ndarray:
+                         A=None,
+                         target_weights: np.ndarray | None = None,
+                         on_level=None) -> np.ndarray:
     """Dependency vectors for a batch of roots: ``(k, n)`` array whose
     row r is ``delta_{roots[r]}``.
+
+    Parameters
+    ----------
+    target_weights:
+        Optional per-vertex target multiplicities (degree-1 folded
+        cores, :mod:`repro.bc.preprocess`): the accumulation endpoint
+        term becomes ``target_weights[v] + delta`` instead of
+        ``1 + delta``, exactly as in
+        :func:`repro.bc.accumulation.accumulate_level`.
+    on_level:
+        Optional callback ``on_level(depth, frontier_pairs,
+        edge_pairs)`` fired once per forward step with the number of
+        active (root, vertex) pairs and their summed degrees — the
+        device charges its batched kernel costs from these.
 
     Raises ``FloatingPointError`` if path counts overflow float64 (use
     the per-root engine for very deep graphs; the public wrapper does
@@ -62,6 +83,7 @@ def batched_dependencies(g: CSRGraph, roots: np.ndarray,
     rows = np.arange(k)
     d[rows, roots] = 0
     sigma[rows, roots] = 1.0
+    deg = g.degrees
 
     # ---- forward: all roots advance one level per step --------------
     depth = 0
@@ -70,6 +92,11 @@ def batched_dependencies(g: CSRGraph, roots: np.ndarray,
             active = np.where(d == depth, sigma, 0.0)
             if not active.any():
                 break
+            if on_level is not None:
+                mask = d == depth
+                per_vertex = mask.sum(axis=0)
+                on_level(depth, int(per_vertex.sum()),
+                         int(per_vertex @ deg))
             # T[r, w] = sum over in-neighbours v of w with d[r, v] == depth
             # of sigma[r, v] — the batched path-count relaxation.
             T = active @ A
@@ -89,20 +116,40 @@ def batched_dependencies(g: CSRGraph, roots: np.ndarray,
         raise FloatingPointError("sigma overflow in batched sweep")
 
     # ---- backward: batched successor accumulation --------------------
+    endpoint = 1.0 if target_weights is None \
+        else np.asarray(target_weights, dtype=np.float64)
     delta = np.zeros((k, n), dtype=np.float64)
     AT = A.T.tocsr()
     for depth in range(max_depth - 1, 0, -1):
         succ_mask = d == depth + 1
         with np.errstate(divide="ignore", invalid="ignore"):
-            X = np.where(succ_mask, (1.0 + delta) / sigma, 0.0)
+            X = np.where(succ_mask, (endpoint + delta) / sigma, 0.0)
         X[~np.isfinite(X)] = 0.0
         # Y[r, w] = sum over out-neighbours v of w of X[r, v].
         Y = X @ AT
-        on_level = d == depth
-        delta = np.where(on_level, sigma * Y, delta)
+        on_level_mask = d == depth
+        delta = np.where(on_level_mask, sigma * Y, delta)
     if not np.isfinite(delta).all():
         raise FloatingPointError("sigma overflow in batched sweep")
     return delta
+
+
+def _engine_retry(g: CSRGraph, batch: np.ndarray, metrics,
+                  target_weights: np.ndarray | None = None,
+                  row_weights: np.ndarray | None = None) -> np.ndarray:
+    """Per-root-engine fallback for one overflowed batch; the caller's
+    metrics registry sees both the retry counter and the traversals."""
+    from .accumulation import dependency_accumulation
+    from .frontier import forward_sweep
+
+    metrics.inc("batched.overflow_retries")
+    contrib = np.zeros(g.num_vertices, dtype=np.float64)
+    for j, s in enumerate(batch):
+        fwd = forward_sweep(g, int(s), metrics=metrics)
+        delta = dependency_accumulation(g, fwd,
+                                        target_weights=target_weights)
+        contrib += delta if row_weights is None else row_weights[j] * delta
+    return contrib
 
 
 def batched_betweenness_centrality(
@@ -110,36 +157,83 @@ def batched_betweenness_centrality(
     sources=None,
     batch_size: int = 64,
     normalized: bool = False,
+    metrics=None,
+    fold: bool | FoldResult = True,
 ) -> np.ndarray:
     """Exact BC computed in root batches of ``batch_size``.
 
     Returns exactly what :func:`repro.bc.betweenness_centrality`
     returns.  Prefer this on small-diameter graphs with many roots;
     prefer the queue-based engine on high-diameter graphs.
+
+    ``metrics`` (an optional
+    :class:`~repro.observability.MetricsRegistry`) is threaded through
+    the sigma-overflow fallback too, counting ``batched.overflow_retries``
+    per retried batch.  ``fold`` applies the degree-1 preprocess
+    (default on; identity folds take the unfolded path).
     """
     n = g.num_vertices
+    if metrics is None:
+        metrics = NULL_REGISTRY
     if sources is None:
         roots = np.arange(n, dtype=np.int64)
     else:
         roots = np.asarray(sources, dtype=np.int64).ravel()
+        if roots.size and (roots.min() < 0 or roots.max() >= n):
+            raise IndexError(f"roots out of range [0, {n})")
     if batch_size < 1:
         raise ValueError("batch_size must be >= 1")
-    A = _adjacency(g) if roots.size else None
-    bc = np.zeros(n, dtype=np.float64)
-    for lo in range(0, roots.size, batch_size):
-        batch = roots[lo:lo + batch_size]
-        try:
-            delta = batched_dependencies(g, batch, A=A)
-            contrib = delta.sum(axis=0)
-        except FloatingPointError:
-            # Deep traversal overflowed the batched float64 counts; the
-            # per-root engine rescales sigma per level and is exact.
-            from .api import bc_single_source_dependencies
 
-            contrib = np.zeros(n, dtype=np.float64)
-            for s in batch:
-                contrib += bc_single_source_dependencies(g, int(s))
-        bc += contrib
+    fold_result: FoldResult | None = None
+    if isinstance(fold, FoldResult):
+        fold_result = fold
+    elif fold:
+        fold_result = fold_degree_one(g)
+
+    if fold_result is not None and not fold_result.is_identity:
+        core = fold_result.core
+        tw = fold_result.core_weights
+        if sources is None:
+            run_roots = np.arange(core.num_vertices, dtype=np.int64)
+            row_weights = tw
+            extra = fold_result.credit
+        else:
+            if roots.size == 0:
+                return np.zeros(n, dtype=np.float64)
+            run_roots = np.empty(roots.size, dtype=np.int64)
+            extra = np.zeros(n, dtype=np.float64)
+            for i, a in enumerate(roots):
+                cr, corr = per_root_correction(fold_result, int(a))
+                run_roots[i] = cr
+                extra += corr
+            row_weights = np.ones(run_roots.size, dtype=np.float64)
+        A = _adjacency(core) if run_roots.size else None
+        acc = np.zeros(core.num_vertices, dtype=np.float64)
+        for lo in range(0, run_roots.size, batch_size):
+            batch = run_roots[lo:lo + batch_size]
+            w_rows = row_weights[lo:lo + batch_size]
+            try:
+                delta = batched_dependencies(core, batch, A=A,
+                                             target_weights=tw)
+                acc += (w_rows[:, None] * delta).sum(axis=0)
+            except FloatingPointError:
+                acc += _engine_retry(core, batch, metrics,
+                                     target_weights=tw, row_weights=w_rows)
+        bc = fold_result.expand(acc) + extra
+    else:
+        A = _adjacency(g) if roots.size else None
+        bc = np.zeros(n, dtype=np.float64)
+        for lo in range(0, roots.size, batch_size):
+            batch = roots[lo:lo + batch_size]
+            try:
+                delta = batched_dependencies(g, batch, A=A)
+                contrib = delta.sum(axis=0)
+            except FloatingPointError:
+                # Deep traversal overflowed the batched float64 counts;
+                # the per-root engine rescales sigma per level and is
+                # exact — and keeps charging the same registry.
+                contrib = _engine_retry(g, batch, metrics)
+            bc += contrib
     if g.undirected:
         bc /= 2.0
     if normalized:

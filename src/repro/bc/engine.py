@@ -46,6 +46,8 @@ def run_root(
     device_chunk: int | None = None,
     metrics=None,
     observer=None,
+    source_weight: float = 1.0,
+    target_weights: np.ndarray | None = None,
 ) -> RootTrace:
     """Process one BC root under ``policy``, charging ``costs``.
 
@@ -74,6 +76,13 @@ def run_root(
         dependencies are folded into ``bc``).  Used by the SDC
         verification layer to inject faults into, and run ABFT checks
         over, this root's intermediate state.
+    source_weight / target_weights:
+        Weighted-traversal parameters for degree-1 folded cores (see
+        :mod:`repro.bc.preprocess`): each target vertex counts
+        ``target_weights[t]`` times during accumulation, and the whole
+        dependency vector is scaled by ``source_weight`` (the root's
+        absorbed subtree weight) before it is folded into ``bc``.  The
+        defaults reproduce the classic unweighted traversal exactly.
     """
     if metrics is None:
         metrics = NULL_REGISTRY
@@ -159,7 +168,8 @@ def run_root(
         if scales is not None and depth + 1 < scales.size:
             ratio_scale = 1.0 / scales[depth + 1]
         accumulate_level(g, level, fwd.distances, fwd.sigma, delta,
-                         sigma_ratio_scale=ratio_scale)
+                         sigma_ratio_scale=ratio_scale,
+                         target_weights=target_weights)
         strategy = strategy_by_depth[depth]
         ef = int(deg[level].sum())
         cycles = _backward_cost(strategy, level, ef)
@@ -170,6 +180,8 @@ def run_root(
         metrics.inc("engine.frontier_vertices", level.size, stage="backward")
         metrics.inc("engine.frontier_edges", ef, stage="backward")
         metrics.inc("engine.cycles", cycles, stage="backward", strategy=strategy)
+    if source_weight != 1.0:
+        delta *= source_weight
     if observer is not None:
         observer.after_accumulation(fwd, delta)
     bc += delta

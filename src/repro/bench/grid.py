@@ -53,6 +53,7 @@ STRATEGY_NAMES = (
     "vertex-parallel",
     "hybrid",
     "sampling",
+    "batched",
 )
 
 
@@ -64,9 +65,11 @@ def default_n_samps(roots: int) -> int:
 
 
 def _sampling_decision(metrics: MetricsRegistry) -> dict | None:
-    """The run's recorded Algorithm 5 classification event, if any."""
+    """The run's recorded Algorithm 5 classification event, if any
+    (the ``batched`` strategy records the same depth rule under its own
+    event name)."""
     for ev in metrics.events:
-        if ev["event"] == "decision.sampling":
+        if ev["event"] in ("decision.sampling", "decision.batched"):
             return ev
     return None
 
@@ -81,15 +84,17 @@ def run_bench_grid(
     strategies=STRATEGY_NAMES,
     wall_clock=None,
     include_service: bool = True,
+    fold: bool = True,
 ):
     """Run the benchmark grid; returns ``(document, wall_per_run)``.
 
     Parameters
     ----------
     n_samps:
-        Sampling-phase size for the ``sampling`` strategy; defaults to
-        :func:`default_n_samps` so the classification decision governs
-        a non-empty steady phase.
+        Sampling-phase size for the ``sampling`` and ``batched``
+        strategies (both classify via Algorithm 5's depth rule);
+        defaults to :func:`default_n_samps` so the classification
+        decision governs a non-empty steady phase.
     device:
         The device to benchmark (a fresh GTX Titan by default); tests
         inject a straggler-slowed device to prove the regression gate
@@ -104,6 +109,11 @@ def run_bench_grid(
         ``dataset="service-load"`` rows, putting p50/p99 latency,
         throughput and shed rate under the same regression ratchet as
         kernel makespans.
+    fold:
+        Degree-1 folding preprocess (default on, matching
+        :meth:`~repro.gpusim.Device.run_bc`); ``False`` reproduces the
+        pre-fold baseline for before/after comparisons.  Each row
+        reports the traversed core size either way.
     """
     if wall_clock is None:
         import time
@@ -123,10 +133,11 @@ def run_bench_grid(
                                     replace=False))
         for strategy in strategies:
             metrics = MetricsRegistry()
-            kwargs = {"n_samps": int(n_samps)} if strategy == "sampling" else {}
+            kwargs = ({"n_samps": int(n_samps)}
+                      if strategy in ("sampling", "batched") else {})
             t0 = wall_clock()
             run = device.run_bc(g, strategy=strategy, roots=sample,
-                                metrics=metrics, **kwargs)
+                                metrics=metrics, fold=fold, **kwargs)
             wall_per_run[f"{name}/{strategy}"] = wall_clock() - t0
             levels = sum(len(rt.levels) for rt in run.trace.roots)
             decision = _sampling_decision(metrics)
@@ -135,6 +146,11 @@ def run_bench_grid(
                 "strategy": strategy,
                 "num_vertices": int(g.num_vertices),
                 "num_edges": int(g.num_edges),
+                "core_vertices": (int(run.fold.core.num_vertices)
+                                  if run.fold is not None
+                                  else int(g.num_vertices)),
+                "folded_vertices": (int(run.fold.num_folded)
+                                    if run.fold is not None else 0),
                 "num_roots": int(run.num_roots),
                 "makespan_cycles": float(run.cycles),
                 "sim_seconds": float(run.seconds),
@@ -167,6 +183,7 @@ def run_bench_grid(
             "roots": int(roots),
             "n_samps": int(n_samps),
             "seed": int(seed),
+            "fold": bool(fold),
         },
         "results": results,
     }

@@ -110,6 +110,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=0, help="generator seed")
     parser.add_argument("--scales", type=int, nargs="+", default=None,
                         help="scale sweep for figure5/figure6/table4")
+    parser.add_argument(
+        "--no-fold", action="store_true",
+        help="disable the degree-1 folding preprocess (on by default) "
+             "for profile/resilience/verify runs")
     faults = parser.add_argument_group("resilience options")
     faults.add_argument(
         "--faults", default=None,
@@ -172,6 +176,9 @@ def build_bench_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--no-service", action="store_true",
                        help="omit the service load-generator rows "
                             "(dataset 'service-load')")
+    run_p.add_argument("--no-fold", action="store_true",
+                       help="run the grid without the degree-1 folding "
+                            "preprocess (for before/after comparisons)")
 
     diff_p = sub.add_parser(
         "diff", help="pair two bench documents and classify every "
@@ -265,6 +272,9 @@ def build_service_parser() -> argparse.ArgumentParser:
     sub_p.add_argument("--tenant", default="default")
     sub_p.add_argument("--deadline", type=float, default=None,
                        help="simulated-seconds deadline")
+    sub_p.add_argument("--no-fold", action="store_true",
+                       help="run this job without the degree-1 folding "
+                            "preprocess (distinct cache key, equal values)")
     sub_p.add_argument("--no-degrade", action="store_true",
                        help="fail rather than return a flagged estimate")
     sub_p.add_argument("--faults", default="",
@@ -326,7 +336,7 @@ def _render_profile(args, metrics) -> str:
                                size=min(args.roots, g.num_vertices),
                                replace=False))
     run = Device().run_bc(g, strategy=args.strategy, roots=roots,
-                          metrics=metrics)
+                          metrics=metrics, fold=not args.no_fold)
     doc = run_profile(run, graph=g)
     reg = registry_to_dict(metrics)
     # One document: deterministic profile + metrics body; everything
@@ -380,7 +390,8 @@ def _bench_main(argv) -> int:
             doc, wall_per_run = run_bench_grid(
                 scale_factor=args.scale_factor, roots=args.roots,
                 seed=args.seed, n_samps=args.n_samps,
-                include_service=not args.no_service)
+                include_service=not args.no_service,
+                fold=not args.no_fold)
             doc["timing"] = {"per_run": wall_per_run,
                              "wall_seconds": sum(wall_per_run.values())}
             _write_report(args.out, doc)
@@ -531,7 +542,8 @@ def _service_main(argv) -> int:
                 scale_factor=args.scale_factor, graph_seed=args.graph_seed,
                 strategy=args.strategy, roots=args.roots, seed=args.seed,
                 tenant=args.tenant, deadline_seconds=args.deadline,
-                allow_degrade=not args.no_degrade, faults=args.faults)
+                allow_degrade=not args.no_degrade,
+                fold=not args.no_fold, faults=args.faults)
             _spool_ticket(root, {"op": "submit", "job": spec.to_dict()})
             print(job_id)
             return 0
@@ -653,7 +665,7 @@ def _render_resilience(args, metrics=None) -> str:
     run = resilient_distributed_bc(
         g, args.ranks, fault_plan=plan, max_retries=args.max_retries,
         wall_clock_budget=args.budget, seed=args.seed, metrics=metrics,
-        verify=args.verify or "off",
+        verify=args.verify or "off", fold=not args.no_fold,
     )
     ref = betweenness_centrality(g)
     err = float(np.max(np.abs(run.values - ref)))
@@ -687,7 +699,7 @@ def _render_verify(args, metrics=None) -> str:
     run = resilient_distributed_bc(
         g, args.ranks, fault_plan=plan, max_retries=args.max_retries,
         wall_clock_budget=args.budget, seed=args.seed, metrics=metrics,
-        verify=mode,
+        verify=mode, fold=not args.no_fold,
     )
     ref = betweenness_centrality(g)
     err = float(np.max(np.abs(run.values - ref)))

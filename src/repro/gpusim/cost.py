@@ -208,6 +208,26 @@ class CostModel:
         """GPU-FAN backward level."""
         return self.gpu_fan_forward(num_directed_edges, useful_edges, device_chunk)
 
+    # -- batched multi-source (Sarıyüce et al., reference [33]) --------
+    def batched_forward(self, edge_pairs: int, device_chunk: int) -> float:
+        """One frontier-matrix level for a whole root batch.
+
+        The ``(k, n) x (n, n)`` product streams each active row's edges
+        exactly once — fully coalesced, BLAS-shaped, no queues and no
+        atomics (path counts accumulate inside the product) — and the
+        whole device cooperates, so one launch covers every root in the
+        batch.  ``edge_pairs`` is the summed edge frontier across the
+        batch's rows at this level.
+        """
+        cycles = math.ceil(edge_pairs / device_chunk) * self.edge_coalesced
+        return (cycles + self.launch) * self.cycle_scale
+
+    def batched_backward(self, edge_pairs: int, device_chunk: int) -> float:
+        """One batched dependency-accumulation level (same regular
+        streamed product, transposed)."""
+        cycles = math.ceil(edge_pairs / device_chunk) * self.edge_coalesced
+        return (cycles + self.launch) * self.cycle_scale
+
     # -- variants ------------------------------------------------------
     def without_imbalance(self) -> "CostModel":
         """Ablation variant with chunk serialisation disabled."""

@@ -36,6 +36,7 @@ from ..bc.policies import (
     FrontierGuardPolicy,
     HybridPolicy,
 )
+from ..bc.preprocess import FoldResult, fold_degree_one, per_root_correction
 from ..bc.sampling import (
     DEFAULT_GAMMA,
     DEFAULT_MIN_FRONTIER,
@@ -49,7 +50,7 @@ from ..verify import RootChecker, VerificationPolicy
 from .cost import DEFAULT_COSTS, CostModel
 from .memory import DeviceMemoryModel, strategy_footprint
 from .spec import GTX_TITAN, GPUSpec
-from .trace import RunTrace
+from .trace import LevelTrace, RootTrace, RunTrace
 
 __all__ = ["Device", "DeviceRun", "STRATEGIES"]
 
@@ -60,6 +61,7 @@ STRATEGIES = (
     VERTEX_PARALLEL,
     "hybrid",
     "sampling",
+    "batched",
     GPU_FAN,
 )
 
@@ -84,6 +86,13 @@ class DeviceRun:
     fixed_cycles: float = 0.0
     #: How many of ``roots`` were consumed by that fixed phase.
     fixed_roots: int = 0
+    #: Roots each steady-state trace entry covers: 1 everywhere except
+    #: the ``batched`` strategy, whose trace entries are whole batches.
+    roots_per_trace: int = 1
+    #: Degree-1 fold applied to this run (None when folding was off or
+    #: the fold was the identity) — carries the digest the service
+    #: layer keys results under.
+    fold: FoldResult | None = None
 
     @property
     def num_roots(self) -> int:
@@ -121,9 +130,13 @@ class DeviceRun:
         mean = float(np.mean(steady))
         remaining = max(0, total - self.fixed_roots)
         # GPU-FAN dedicates the whole device to each root, so roots do
-        # not overlap across SMs; every other layout processes num_sms
-        # roots concurrently.
-        concurrency = 1 if self.strategy == "gpu-fan" else self.spec.num_sms
+        # not overlap across SMs, and a batched trace entry is a whole
+        # device-cooperative batch; every other layout processes
+        # num_sms roots concurrently.
+        if self.strategy in ("gpu-fan", "batched"):
+            concurrency = max(1, int(self.roots_per_trace))
+        else:
+            concurrency = self.spec.num_sms
         cycles = self.fixed_cycles + remaining * mean / concurrency
         return self.spec.seconds(cycles)
 
@@ -174,6 +187,11 @@ class _RunObserver:
         #: Sum of every accepted root's dependencies — the reference the
         #: final partial-BC checksum is validated against.
         self.expected_sum = 0.0
+        #: Weighted-traversal context for degree-1 folded runs: the
+        #: core's target-weight vector and (full runs only) the
+        #: per-core-root source weights the engine pre-scales delta by.
+        self.target_weights: np.ndarray | None = None
+        self.source_weights: np.ndarray | None = None
         self._pos = 0
         self._events: list = []
 
@@ -197,8 +215,12 @@ class _RunObserver:
         self._events = []
         self._pos += 1
         if self.checker is not None and self.policy.checks_root(fwd.source):
+            sw = (1.0 if self.source_weights is None
+                  else float(self.source_weights[fwd.source]))
             t0 = time.perf_counter()
-            violations = self.checker.check_root(self.g, fwd, delta)
+            violations = self.checker.check_root(
+                self.g, fwd, delta, target_weights=self.target_weights,
+                source_weight=sw)
             self.metrics.inc("verify.overhead_seconds",
                              time.perf_counter() - t0)
             if violations:
@@ -283,10 +305,12 @@ class Device:
         n_samps: int = DEFAULT_N_SAMPS,
         gamma: float = DEFAULT_GAMMA,
         min_frontier: int = DEFAULT_MIN_FRONTIER,
+        batch_size: int = 64,
         strict_reader: bool = False,
         check_memory: bool = True,
         metrics=None,
         verify="off",
+        fold: bool | FoldResult = True,
     ) -> DeviceRun:
         """Run BC on the device under ``strategy``.
 
@@ -300,6 +324,27 @@ class Device:
             Hybrid thresholds (Algorithm 4); defaults 768 / 512.
         n_samps, gamma, min_frontier:
             Sampling parameters (Algorithm 5); defaults 512 / 4 / 512.
+        batch_size:
+            Roots per frontier-matrix step of the ``batched`` strategy
+            (Sarıyüce-style multi-source traversal; reference [33]).
+            The strategy classifies depth with its first ``n_samps``
+            roots exactly like Algorithm 5 and routes the remainder
+            through whole-device batch traversals only when the sampled
+            median depth is below the ``gamma`` cutoff (small-diameter
+            graphs — dense frontiers, BLAS-shaped work); deep graphs
+            fall back to per-root work-efficient traversal.
+        fold:
+            Apply the degree-1 folding preprocess before traversal (on
+            by default; exact — see :mod:`repro.bc.preprocess`).  Pass
+            ``False`` for the original graph, or a precomputed
+            :class:`~repro.bc.preprocess.FoldResult` to skip
+            re-folding.  Identity folds (directed or pendant-free
+            graphs) take the legacy path unchanged.  When a non-trivial
+            fold is active every strategy traverses the residual core
+            (weighted traversals; per-root host traversals for explicit
+            ``roots``), trace entries are in core vertex ids, and
+            :meth:`DeviceRun.extrapolated_seconds` extrapolates in
+            core-traversal units.
         strict_reader:
             Model the Jia et al. reference reader, which rejects graphs
             containing isolated vertices (Section V-B) — only honoured
@@ -333,6 +378,7 @@ class Device:
                 f"unknown strategy {strategy!r}; known: {STRATEGIES}"
             )
         n = g.num_vertices
+        full_run = roots is None
         if roots is None:
             roots = np.arange(n, dtype=np.int64)
         else:
@@ -350,23 +396,59 @@ class Device:
                     f"vertices ({isolated.size} present)"
                 )
 
+        # -- degree-1 folding: pick the graph the kernels traverse -----
+        fold_result: FoldResult | None = None
+        if isinstance(fold, FoldResult):
+            fold_result = fold
+        elif fold:
+            fold_result = fold_degree_one(g)
+        folded = fold_result is not None and not fold_result.is_identity
+        if folded:
+            run_g = fold_result.core
+            target_weights = fold_result.core_weights
+            if full_run:
+                # Every core root once, weighted by its absorbed
+                # subtree; credits close the folded vertices' scores.
+                run_roots = np.arange(run_g.num_vertices, dtype=np.int64)
+                source_weights = target_weights
+                post_extra = fold_result.credit
+            else:
+                # Explicit roots: one weighted traversal from each
+                # root's residual host plus its closed-form correction.
+                run_roots = np.empty(roots.size, dtype=np.int64)
+                post_extra = np.zeros(n, dtype=np.float64)
+                for i, a in enumerate(roots):
+                    cr, corr = per_root_correction(fold_result, int(a))
+                    run_roots[i] = cr
+                    post_extra += corr
+                source_weights = None
+        else:
+            run_g = g
+            run_roots = roots
+            target_weights = None
+            source_weights = None
+            post_extra = None
+
         memory_report: dict = {}
         if check_memory:
             mem = DeviceMemoryModel(capacity=self.spec.memory_bytes)
             footprint = strategy_footprint(
-                g, self._memory_strategy(strategy), num_blocks=self.spec.num_sms
+                run_g, self._memory_strategy(strategy),
+                num_blocks=self.spec.num_sms, batch_size=batch_size,
             )
             for what, nbytes in footprint.items():
                 mem.alloc(nbytes, what)
             memory_report = mem.report()
 
-        bc = np.zeros(n, dtype=np.float64)
+        bc = np.zeros(run_g.num_vertices, dtype=np.float64)
         chunk = self.spec.concurrent_threads_per_sm
 
         verify_policy = VerificationPolicy.coerce(verify)
         observer = None
         if verify_policy.enabled or self._sdc_pending():
-            observer = _RunObserver(self, g, verify_policy, metrics)
+            observer = _RunObserver(self, run_g, verify_policy, metrics)
+            observer.target_weights = target_weights
+            observer.source_weights = source_weights
 
         params = {"strategy": strategy, "device": self.spec.name,
                   "num_vertices": int(n), "num_edges": int(g.num_edges),
@@ -379,30 +461,60 @@ class Device:
         elif strategy == "sampling":
             params.update(n_samps=int(n_samps), gamma=float(gamma),
                           min_frontier=int(min_frontier))
+        elif strategy == "batched":
+            params.update(n_samps=int(n_samps), gamma=float(gamma),
+                          batch_size=int(batch_size))
+        if folded:
+            params.update(folded=True,
+                          core_vertices=int(run_g.num_vertices),
+                          folded_vertices=int(fold_result.num_folded),
+                          fold_rounds=int(fold_result.rounds),
+                          fold_digest=fold_result.digest(),
+                          core_traversals=int(run_roots.size))
         metrics.record("run.params", **params)
 
         fixed_cycles = 0.0
         fixed_roots = 0
+        roots_per_trace = 1
         with metrics.span("device.run_bc", strategy=strategy,
                           device=self.spec.name):
             if strategy == GPU_FAN:
-                run = self._run_gpu_fan(g, roots, bc, chunk, metrics,
-                                        observer=observer)
+                run = self._run_gpu_fan(run_g, run_roots, bc, chunk, metrics,
+                                        observer=observer,
+                                        target_weights=target_weights,
+                                        source_weights=source_weights)
             elif strategy == "sampling":
-                run = self._run_sampling(g, roots, bc, chunk, n_samps, gamma,
-                                         min_frontier, metrics,
-                                         observer=observer)
+                run = self._run_sampling(run_g, run_roots, bc, chunk, n_samps,
+                                         gamma, min_frontier, metrics,
+                                         observer=observer,
+                                         target_weights=target_weights,
+                                         source_weights=source_weights)
                 fixed_cycles = run[3]
                 fixed_roots = run[4]
                 run = run[:3]
+            elif strategy == "batched":
+                run = self._run_batched(run_g, run_roots, bc, chunk, n_samps,
+                                        gamma, batch_size, metrics,
+                                        observer=observer,
+                                        target_weights=target_weights,
+                                        source_weights=source_weights)
+                fixed_cycles = run[3]
+                fixed_roots = run[4]
+                run = run[:3]
+                roots_per_trace = int(batch_size)
             else:
                 policy_factory = self._policy_factory(strategy, alpha, beta)
-                run = self._run_coarse(g, roots, bc, chunk, policy_factory,
-                                       metrics, observer=observer)
+                run = self._run_coarse(run_g, run_roots, bc, chunk,
+                                       policy_factory, metrics,
+                                       observer=observer,
+                                       target_weights=target_weights,
+                                       source_weights=source_weights)
             if observer is not None:
                 observer.finish(bc)
 
         trace, makespan, extra = run
+        if folded:
+            bc = fold_result.expand(bc) + post_extra
         slow = float(self.straggler_factor)
         if slow != 1.0:
             makespan *= slow
@@ -434,6 +546,8 @@ class Device:
             sampling_chose_edge_parallel=extra,
             fixed_cycles=fixed_cycles,
             fixed_roots=fixed_roots,
+            roots_per_trace=roots_per_trace,
+            fold=fold_result if folded else None,
         )
 
     # ------------------------------------------------------------------
@@ -443,6 +557,11 @@ class Device:
         if strategy in ("hybrid", "sampling"):
             return WORK_EFFICIENT
         return strategy
+
+    @staticmethod
+    def _source_weight(source_weights, s) -> float:
+        return (1.0 if source_weights is None
+                else float(source_weights[int(s)]))
 
     @staticmethod
     def _policy_factory(strategy: str, alpha, beta):
@@ -462,13 +581,16 @@ class Device:
         raise StrategyError(f"no policy for {strategy!r}")
 
     def _run_coarse(self, g, roots, bc, chunk, policy_factory,
-                    metrics=NULL_REGISTRY, observer=None):
+                    metrics=NULL_REGISTRY, observer=None,
+                    target_weights=None, source_weights=None):
         """Jia-style layout: blocks pull roots; makespan scheduling."""
         trace = RunTrace()
         for s in roots:
             trace.roots.append(
                 _run_root(g, int(s), bc, policy_factory(), self.costs, chunk,
-                          metrics=metrics, observer=observer)
+                          metrics=metrics, observer=observer,
+                          source_weight=self._source_weight(source_weights, s),
+                          target_weights=target_weights)
             )
         makespan, per_sm = _list_schedule(
             [rt.cycles for rt in trace.roots], self.spec.num_sms
@@ -478,7 +600,7 @@ class Device:
         return trace, makespan, None
 
     def _run_gpu_fan(self, g, roots, bc, chunk, metrics=NULL_REGISTRY,
-                     observer=None):
+                     observer=None, target_weights=None, source_weights=None):
         """GPU-FAN layout: whole device per root, roots sequential."""
         trace = RunTrace()
         device_chunk = self.spec.total_threads
@@ -487,7 +609,9 @@ class Device:
             trace.roots.append(
                 _run_root(g, int(s), bc, policy, self.costs, chunk,
                          device_chunk=device_chunk, metrics=metrics,
-                         observer=observer)
+                         observer=observer,
+                         source_weight=self._source_weight(source_weights, s),
+                         target_weights=target_weights)
             )
         makespan = trace.total_root_cycles
         trace.makespan_cycles = makespan
@@ -495,7 +619,8 @@ class Device:
         return trace, makespan, None
 
     def _run_sampling(self, g, roots, bc, chunk, n_samps, gamma, min_frontier,
-                      metrics=NULL_REGISTRY, observer=None):
+                      metrics=NULL_REGISTRY, observer=None,
+                      target_weights=None, source_weights=None):
         """Algorithm 5: classify with the first ``n_samps`` roots, then
         finish with the selected method."""
         trace = RunTrace()
@@ -504,8 +629,11 @@ class Device:
         phase2 = roots[k:]
         we = FixedPolicy(WORK_EFFICIENT)
         for s in phase1:
-            trace.roots.append(_run_root(g, int(s), bc, we, self.costs, chunk,
-                                         metrics=metrics, observer=observer))
+            trace.roots.append(_run_root(
+                g, int(s), bc, we, self.costs, chunk,
+                metrics=metrics, observer=observer,
+                source_weight=self._source_weight(source_weights, s),
+                target_weights=target_weights))
         makespan1, _ = _list_schedule(
             [rt.cycles for rt in trace.roots], self.spec.num_sms
         )
@@ -521,8 +649,11 @@ class Device:
         for s in phase2:
             policy = (FrontierGuardPolicy(min_frontier) if use_ep
                       else FixedPolicy(WORK_EFFICIENT))
-            trace.roots.append(_run_root(g, int(s), bc, policy, self.costs, chunk,
-                                         metrics=metrics, observer=observer))
+            trace.roots.append(_run_root(
+                g, int(s), bc, policy, self.costs, chunk,
+                metrics=metrics, observer=observer,
+                source_weight=self._source_weight(source_weights, s),
+                target_weights=target_weights))
         makespan2, per_sm = _list_schedule(
             [rt.cycles for rt in trace.roots[phase2_start:]], self.spec.num_sms
         )
@@ -530,3 +661,165 @@ class Device:
         trace.makespan_cycles = makespan
         trace.sm_cycles = per_sm
         return trace, makespan, use_ep, makespan1, int(phase1.size)
+
+    def _run_batched(self, g, roots, bc, chunk, n_samps, gamma, batch_size,
+                     metrics=NULL_REGISTRY, observer=None,
+                     target_weights=None, source_weights=None):
+        """Sarıyüce-style multi-source strategy (reference [33]).
+
+        Classification mirrors Algorithm 5: the first ``n_samps`` roots
+        run work-efficient and their median BFS depth decides.  A
+        *small* sampled diameter (the same γ-cutoff that would pick the
+        edge-parallel kernel) means dense frontiers and few steps —
+        ideal for routing the remaining roots through whole-device
+        frontier-matrix traversals, ``batch_size`` roots per step.
+        Deep graphs, and runs carrying an SDC/verification observer
+        (whose ABFT suite is per-root by construction), finish
+        per-root work-efficient instead; both the classification and
+        that fallback are recorded in the ``repro.trace/v1`` stream.
+        """
+        trace = RunTrace()
+        k = min(int(n_samps), roots.size)
+        phase1 = roots[:k]
+        phase2 = roots[k:]
+        we = FixedPolicy(WORK_EFFICIENT)
+        for s in phase1:
+            trace.roots.append(_run_root(
+                g, int(s), bc, we, self.costs, chunk,
+                metrics=metrics, observer=observer,
+                source_weight=self._source_weight(source_weights, s),
+                target_weights=target_weights))
+        makespan1, _ = _list_schedule(
+            [rt.cycles for rt in trace.roots], self.spec.num_sms
+        )
+        depths = [rt.max_depth for rt in trace.roots]
+        classification = classification_record(depths, g.num_vertices,
+                                               gamma=gamma)
+        use_batched = bool(classification["chose_edge_parallel"])
+        per_root_fallback = observer is not None
+        metrics.inc("device.batched_classifications",
+                    chose="batched" if use_batched and not per_root_fallback
+                    else "work-efficient")
+        metrics.record("decision.batched", batch_size=int(batch_size),
+                       verified_per_root=bool(per_root_fallback),
+                       **classification)
+        phase2_start = len(trace.roots)
+        device_chunk = self.spec.total_threads
+        makespan2 = 0.0
+        if use_batched and not per_root_fallback and phase2.size:
+            from ..bc.batched import _adjacency, batched_dependencies
+
+            A = _adjacency(g)
+            serial_cycles = 0.0
+            fallback_cycles: list = []
+            for lo in range(0, phase2.size, int(batch_size)):
+                batch = phase2[lo:lo + int(batch_size)]
+                rep = int(batch[0])
+                rt = RootTrace(root=rep)
+
+                def on_level(depth, pairs, epairs, rt=rt):
+                    cycles = self.costs.batched_forward(epairs, device_chunk)
+                    rt.add(LevelTrace(depth=depth, stage="forward",
+                                      strategy="batched",
+                                      frontier_size=int(pairs),
+                                      edge_frontier=int(epairs),
+                                      cycles=cycles))
+                    metrics.inc("engine.levels", stage="forward",
+                                strategy="batched")
+                    metrics.inc("engine.frontier_vertices", pairs,
+                                stage="forward")
+                    metrics.inc("engine.frontier_edges", epairs,
+                                stage="forward")
+                    metrics.inc("engine.cycles", cycles, stage="forward",
+                                strategy="batched")
+                    metrics.observe("engine.frontier_size", pairs,
+                                    stage="forward")
+
+                try:
+                    delta = batched_dependencies(
+                        g, batch, A=A, target_weights=target_weights,
+                        on_level=on_level)
+                except FloatingPointError:
+                    # Deep traversal overflowed the dense path counts;
+                    # the per-root engine rescales sigma per level.
+                    metrics.inc("batched.overflow_retries")
+                    for s in batch:
+                        sub = _run_root(
+                            g, int(s), bc, FixedPolicy(WORK_EFFICIENT),
+                            self.costs, chunk, metrics=metrics,
+                            observer=observer,
+                            source_weight=self._source_weight(
+                                source_weights, s),
+                            target_weights=target_weights)
+                        trace.roots.append(sub)
+                        fallback_cycles.append(sub.cycles)
+                    continue
+                # Decision audit: one record per executed forward level
+                # (the batch's representative root carries the trace).
+                metrics.record("decision.initial", root=rep,
+                               applies_to_depth=0, strategy="batched",
+                               policy="batched",
+                               rule=f"sampled median depth "
+                                    f"{classification['median_depth']} <= "
+                                    f"cutoff — {int(batch.size)} roots per "
+                                    f"frontier-matrix step",
+                               batch_roots=int(batch.size),
+                               median_depth=classification["median_depth"],
+                               depth_cutoff=classification["depth_cutoff"])
+                fls = rt.forward_levels()
+                for lv in fls:
+                    if lv.depth >= 1:
+                        metrics.record("decision.step", root=rep,
+                                       depth=int(lv.depth) - 1,
+                                       applies_to_depth=int(lv.depth),
+                                       previous="batched",
+                                       strategy="batched", policy="batched",
+                                       rule="batch advances one "
+                                            "frontier-matrix step",
+                                       batch_roots=int(batch.size))
+                # Backward levels mirror the forward ones (each level
+                # scans its own rows' edges, transposed product).
+                by_depth = {lv.depth: lv for lv in fls}
+                for depth in range(max(by_depth) - 1, 0, -1):
+                    lv = by_depth[depth]
+                    cycles = self.costs.batched_backward(lv.edge_frontier,
+                                                         device_chunk)
+                    rt.add(LevelTrace(depth=depth, stage="backward",
+                                      strategy="batched",
+                                      frontier_size=lv.frontier_size,
+                                      edge_frontier=lv.edge_frontier,
+                                      cycles=cycles))
+                    metrics.inc("engine.levels", stage="backward",
+                                strategy="batched")
+                    metrics.inc("engine.cycles", cycles, stage="backward",
+                                strategy="batched")
+                trace.roots.append(rt)
+                serial_cycles += rt.cycles
+                metrics.inc("engine.roots", batch.size)
+                if source_weights is None:
+                    bc += delta.sum(axis=0)
+                else:
+                    bc += (np.asarray(source_weights)[batch][:, None]
+                           * delta).sum(axis=0)
+            # Batches own the whole device sequentially; any overflow
+            # retries run per-SM alongside.
+            retry_makespan, _ = _list_schedule(fallback_cycles,
+                                               self.spec.num_sms)
+            makespan2 = serial_cycles + retry_makespan
+            per_sm = np.full(self.spec.num_sms, makespan2)
+        else:
+            for s in phase2:
+                trace.roots.append(_run_root(
+                    g, int(s), bc, FixedPolicy(WORK_EFFICIENT), self.costs,
+                    chunk, metrics=metrics, observer=observer,
+                    source_weight=self._source_weight(source_weights, s),
+                    target_weights=target_weights))
+            makespan2, per_sm = _list_schedule(
+                [rt.cycles for rt in trace.roots[phase2_start:]],
+                self.spec.num_sms
+            )
+        makespan = makespan1 + makespan2
+        trace.makespan_cycles = makespan
+        trace.sm_cycles = per_sm
+        chose = use_batched and not per_root_fallback
+        return trace, makespan, chose, makespan1, int(phase1.size)

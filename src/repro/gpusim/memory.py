@@ -72,13 +72,16 @@ def graph_footprint(g: CSRGraph) -> int:
     return (g.num_vertices + 1) * INT_BYTES + g.num_directed_edges * INT_BYTES
 
 
-def strategy_footprint(g: CSRGraph, strategy: str, num_blocks: int) -> dict:
+def strategy_footprint(g: CSRGraph, strategy: str, num_blocks: int,
+                       batch_size: int = 64) -> dict:
     """Per-label device bytes required by a BC strategy.
 
     ``strategy`` is one of ``work-efficient``, ``hybrid``, ``sampling``,
     ``edge-parallel``, ``vertex-parallel`` (all Jia-style: coarse
-    parallelism with ``num_blocks`` concurrent roots) or ``gpu-fan``
-    (fine-grained only: one root at a time, O(n^2) predecessors).
+    parallelism with ``num_blocks`` concurrent roots), ``gpu-fan``
+    (fine-grained only: one root at a time, O(n^2) predecessors) or
+    ``batched`` (Sarıyüce-style multi-source: dense ``(batch_size, n)``
+    frontier matrices shared by the whole device).
     """
     n, m_dir = g.num_vertices, g.num_directed_edges
     out = {"graph CSR": graph_footprint(g),
@@ -93,6 +96,16 @@ def strategy_footprint(g: CSRGraph, strategy: str, num_blocks: int) -> dict:
         # + O(m) boolean predecessor array per block (Jia et al.).
         per_root = per_root_core + m_dir * 1
         out["per-block locals (O(m) preds)"] = per_root * num_blocks
+    elif strategy == "batched":
+        # Dense multi-source state: d int + sigma/delta floats per
+        # (root, vertex) pair, plus one product buffer, device-wide.
+        out["batched frontier matrices (O(k n))"] = (
+            batch_size * n * (INT_BYTES + 3 * FLOAT_BYTES)
+        )
+        # Classification phase runs per-block work-efficient roots.
+        out["per-block locals (O(n))"] = (
+            (per_root_core + 4 * n * INT_BYTES) * num_blocks
+        )
     elif strategy == "gpu-fan":
         # Single root at a time, but an O(n^2) predecessor matrix
         # (1 byte per entry; the cliff of Figure 5).

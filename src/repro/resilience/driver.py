@@ -45,8 +45,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..bc.accumulation import dependency_accumulation
-from ..bc.api import bc_single_source_dependencies
 from ..bc.frontier import forward_sweep
+from ..bc.preprocess import FoldResult, fold_degree_one
 from ..cluster.distributed import partition_roots
 from ..cluster.mpi_sim import SimComm
 from ..cluster.topology import ClusterSpec
@@ -264,6 +264,7 @@ def resilient_distributed_bc(
     metrics=None,
     clock: SpanClock | None = None,
     verify="off",
+    fold: bool | FoldResult = True,
 ) -> ResilientRun:
     """Exact distributed BC that survives injected rank failures.
 
@@ -319,6 +320,15 @@ def resilient_distributed_bc(
         so redundant reduction heals).  Budget exhaustion degrades as
         usual, with the corruption surfaced in the returned record
         instead of silently poisoning the values.
+    fold:
+        Degree-1 folding (:mod:`repro.bc.preprocess`; default on).
+        When the fold is non-trivial, the **checkpointed roots are
+        folded-graph roots**: the core's vertices are partitioned over
+        ranks, every per-root traversal runs on the reduced graph with
+        weighted accumulation, checkpoints and the reduce stay in core
+        space, and the folded credit is added after expansion.  Pass a
+        prepared :class:`~repro.bc.preprocess.FoldResult` to reuse one,
+        or ``False`` to traverse the original graph.
 
     Returns a :class:`ResilientRun`; ``run.values`` equals the serial
     :func:`repro.bc.betweenness_centrality` whenever ``run.exact``.
@@ -345,7 +355,27 @@ def resilient_distributed_bc(
     policy = VerificationPolicy.coerce(verify)
     checker = RootChecker(policy, metrics) if policy.enabled else None
 
-    n = g.num_vertices
+    fold_result: FoldResult | None = None
+    if isinstance(fold, FoldResult):
+        fold_result = fold
+    elif fold:
+        fold_result = fold_degree_one(g)
+    folded = fold_result is not None and not fold_result.is_identity
+    if folded:
+        run_g = fold_result.core
+        target_weights = fold_result.core_weights
+        metrics.record("resilience.fold",
+                       core_vertices=int(run_g.num_vertices),
+                       folded_vertices=int(fold_result.num_folded),
+                       rounds=int(fold_result.rounds))
+    else:
+        run_g = g
+        target_weights = None
+
+    # Traversal roots and checkpoint vectors live on the (possibly
+    # folded) run graph; expansion back to original ids happens once,
+    # after the reduce.
+    n = run_g.num_vertices
     half = 2.0 if g.undirected else 1.0
     store = CheckpointStore(num_ranks, n)
     incidents: list = []
@@ -458,18 +488,27 @@ def resilient_distributed_bc(
                 expected_sum = 0.0
                 for pos, s in enumerate(roots):
                     s = int(s)
-                    fwd = forward_sweep(g, s)
+                    fwd = forward_sweep(run_g, s)
                     events = faults.sdc_for_root(rank, pos) if faults else []
                     # sigma/dist strikes hit before accumulation so the
                     # corruption propagates into delta, as a real upset
                     # in resident memory would.
                     apply_site(events, "sigma", fwd.sigma)
                     apply_site(events, "dist", fwd.distances)
-                    delta = dependency_accumulation(g, fwd)
+                    delta = dependency_accumulation(
+                        run_g, fwd, target_weights=target_weights)
+                    sw = 1.0 if not folded else float(target_weights[s])
+                    if sw != 1.0:
+                        # A folded core root stands for sw original
+                        # sources; its dependency vector is scaled
+                        # before checkpointing (Eq. 3 stays a plain sum).
+                        delta *= sw
                     apply_site(events, "delta", delta)
                     if checker is not None and policy.checks_root(s):
-                        violations = checked(checker.check_root, g, fwd,
-                                             delta)
+                        violations = checked(checker.check_root, run_g,
+                                             fwd, delta,
+                                             target_weights=target_weights,
+                                             source_weight=sw)
                         if violations:
                             # Quarantine: the root's contribution never
                             # reaches the partial; it is re-run next
@@ -606,7 +645,12 @@ def resilient_distributed_bc(
         with metrics.span("resilience.degrade", samples=k):
             est = np.zeros(n, dtype=np.float64)
             for s in sample:
-                est += bc_single_source_dependencies(g, int(s))
+                fwd = forward_sweep(run_g, int(s))
+                delta = dependency_accumulation(
+                    run_g, fwd, target_weights=target_weights)
+                if folded:
+                    delta *= float(target_weights[int(s)])
+                est += delta
         est /= half
         total = total + est * (degraded_roots / k)
         samples_used = k
@@ -614,6 +658,13 @@ def resilient_distributed_bc(
         metrics.inc("resilience.degraded_roots", degraded_roots)
         metrics.record("resilience.degrade", roots=degraded_roots,
                        samples=k, scale=degraded_roots / k)
+
+    if folded:
+        # Back to original ids: checkpoints, reduce and the degraded
+        # estimate were all core-space; the pendants' closed-form
+        # credit (already in ordered-pair units) gets the same halving
+        # the traversed partials received at commit time.
+        total = fold_result.expand(total) + fold_result.credit / half
 
     metrics.inc("resilience.runs")
     metrics.inc("resilience.recomputed_roots", recomputed_roots)

@@ -36,12 +36,18 @@ def _canonical(payload: dict) -> str:
 
 
 def result_key(graph_digest: str, strategy: str, roots, seed: int,
-               *, degraded: str | None = None) -> str:
+               *, degraded: str | None = None,
+               fold_digest: str | None = None) -> str:
     """SHA-256 key of one result's full determinants.
 
     ``degraded`` distinguishes a flagged sampled estimate from the exact
     result of the same query — they are different artifacts and must
-    never collide.
+    never collide.  ``fold_digest`` (the
+    :meth:`~repro.bc.preprocess.FoldResult.digest` of the degree-1
+    preprocess, ``None`` when the job runs unfolded) is a determinant
+    for the same reason: folded and unfolded runs of one query produce
+    equal values by different computations, and a change to the
+    preprocessing must miss, never serve stale bytes.
     """
     roots = np.asarray(roots, dtype=np.int64)
     h = hashlib.sha256()
@@ -50,6 +56,7 @@ def result_key(graph_digest: str, strategy: str, roots, seed: int,
         "strategy": str(strategy),
         "seed": int(seed),
         "degraded": degraded,
+        "fold": fold_digest,
         "num_roots": int(roots.size),
     }).encode("utf-8"))
     h.update(roots.tobytes())

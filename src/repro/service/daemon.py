@@ -95,6 +95,7 @@ class BCService:
             self.metrics.inc("service.jobs_recovered",
                              float(len(self.recovered_ids)))
         self._graphs: dict = {}
+        self._fold_digests: dict = {}
         self._next_id = 1 + max(
             (int(j[1:]) for j in self.jobs if j.startswith("j")
              and j[1:].isdigit()), default=0)
@@ -116,6 +117,20 @@ class BCService:
             self._graphs[gkey] = g
             self.metrics.inc("service.graphs_loaded")
         return g
+
+    def _fold_digest(self, g, spec: JobSpec) -> str | None:
+        """The job's fold digest (a result-key determinant), or ``None``
+        for unfolded jobs; computed once per distinct graph."""
+        if not spec.fold:
+            return None
+        gd = g.digest()
+        d = self._fold_digests.get(gd)
+        if d is None:
+            from ..bc.preprocess import fold_degree_one
+
+            d = fold_degree_one(g).digest()
+            self._fold_digests[gd] = d
+        return d
 
     def _tenant_live(self, tenant: str) -> int:
         return sum(1 for j in self.jobs.values()
@@ -240,7 +255,7 @@ class BCService:
                                                          roots, k)
         else:
             run = dev.device.run_bc(g, strategy=spec.strategy, roots=roots,
-                                    metrics=self.metrics)
+                                    metrics=self.metrics, fold=spec.fold)
             values = run.bc
         meta = {"job_id": spec.job_id, "exact": bool(job.exact),
                 "degraded_reason": job.degraded_reason,
@@ -259,13 +274,15 @@ class BCService:
         when the job could have taken that path.
         """
         spec = job.spec
+        fd = self._fold_digest(g, spec)
         degraded = "overload" if job.admit_degraded else None
         keys = [(result_key(g.digest(), spec.strategy, roots, spec.seed,
-                            degraded=degraded), degraded)]
+                            degraded=degraded, fold_digest=fd), degraded)]
         if (degraded is None and spec.deadline_seconds is not None
                 and spec.allow_degrade):
             keys.append((result_key(g.digest(), spec.strategy, roots,
-                                    spec.seed, degraded="deadline"),
+                                    spec.seed, degraded="deadline",
+                                    fold_digest=fd),
                          "deadline"))
         return keys
 
@@ -326,7 +343,8 @@ class BCService:
 
         if outcome.ok:
             key = result_key(g.digest(), spec.strategy, roots, spec.seed,
-                             degraded=outcome.degraded_reason)
+                             degraded=outcome.degraded_reason,
+                             fold_digest=self._fold_digest(g, spec))
             # Materialise BEFORE acknowledging: the `done` record must
             # never point at a result that might not exist.
             self.cache.put(key, outcome.values, {

@@ -100,6 +100,12 @@ class JobSpec:
     allow_degrade:
         Whether the service may return a flagged (``exact=False``)
         sampled estimate under deadline pressure or overload.
+    fold:
+        Degree-1 folding (:mod:`repro.bc.preprocess`; default on).  A
+        folded job traverses the reduced core; its result values are
+        identical to the unfolded job's, but the two are **distinct
+        cache artifacts** — the result key includes the fold digest so
+        a preprocessing change can never serve stale bytes.
     faults:
         Optional :class:`repro.resilience.FaultPlan` spec string — the
         deterministic chaos hook the scheduler tests (and the CI smoke
@@ -116,6 +122,7 @@ class JobSpec:
     tenant: str = "default"
     deadline_seconds: float | None = None
     allow_degrade: bool = True
+    fold: bool = True
     faults: str = ""
 
     def __post_init__(self) -> None:
@@ -154,6 +161,7 @@ class JobSpec:
             "tenant": self.tenant,
             "deadline_seconds": self.deadline_seconds,
             "allow_degrade": bool(self.allow_degrade),
+            "fold": bool(self.fold),
             "faults": self.faults,
         }
 

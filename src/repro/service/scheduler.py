@@ -282,10 +282,11 @@ class Scheduler:
             fd.straggler_factor *= dev.straggler_factor
             verify = "paranoid" if faults.sdc_pending_for(0) else "off"
             return fd.run_bc(g, strategy=spec.strategy, roots=roots,
-                             metrics=self.metrics, verify=verify)
+                             metrics=self.metrics, verify=verify,
+                             fold=spec.fold)
         runner = dev.device
         return runner.run_bc(g, strategy=spec.strategy, roots=roots,
-                             metrics=self.metrics)
+                             metrics=self.metrics, fold=spec.fold)
 
     def _sampled_estimate(self, dev: SimDevice, g, spec: JobSpec, roots,
                           k: int):
@@ -294,7 +295,7 @@ class Scheduler:
         rng = np.random.default_rng([int(spec.seed), 0x5E44])
         sample = np.sort(rng.choice(roots, size=int(k), replace=False))
         run = dev.device.run_bc(g, strategy=spec.strategy, roots=sample,
-                                metrics=self.metrics)
+                                metrics=self.metrics, fold=spec.fold)
         return run.bc * (float(roots.size) / float(k)), run.seconds
 
     def _charge(self, dev: SimDevice, seconds: float) -> None:
@@ -419,7 +420,8 @@ class Scheduler:
                     self._charge(dev, seconds)  # sunk speculative work
                     run = alt.device.run_bc(g, strategy=spec.strategy,
                                             roots=roots,
-                                            metrics=self.metrics)
+                                            metrics=self.metrics,
+                                            fold=spec.fold)
                     seconds = float(run.seconds)
                     device_name = alt.name
                     dev = alt

@@ -66,14 +66,31 @@ class Violation:
         return f"[{self.invariant}@root {self.root}] {self.detail}"
 
 
-def expected_delta_checksum(distances: np.ndarray) -> float:
+def expected_delta_checksum(distances: np.ndarray,
+                            target_weights: np.ndarray | None = None,
+                            source_weight: float = 1.0) -> float:
     """Right-hand side of the B4 identity: ``sum(d) - (reached - 1)``
-    over reached vertices (0.0 when only the root is reached)."""
+    over reached vertices (0.0 when only the root is reached).
+
+    With ``target_weights`` (the degree-1 folding transform's weighted
+    accumulation, see :mod:`repro.bc.preprocess`), each target ``t``
+    contributes ``w[t] * (d(s, t) - 1)`` interior hops and the identity
+    generalises to ``sum(w * d) - (sum(w) - w[source])`` over reached
+    vertices.  ``source_weight`` scales the whole expectation when the
+    checked ``delta`` was pre-multiplied by the root's own weight.
+    """
     reached = distances >= 0
     count = int(reached.sum())
     if count <= 1:
         return 0.0
-    return float(distances[reached].sum()) - (count - 1)
+    if target_weights is None:
+        base = float(distances[reached].sum()) - (count - 1)
+    else:
+        w = target_weights[reached]
+        src = int(np.flatnonzero(reached & (distances == 0))[0])
+        base = float((w * distances[reached]).sum()) \
+            - (float(w.sum()) - float(target_weights[src]))
+    return base * source_weight
 
 
 class RootChecker:
@@ -96,9 +113,16 @@ class RootChecker:
 
     # ------------------------------------------------------------------
     def check_root(self, g: CSRGraph, fwd: ForwardResult,
-                   delta: np.ndarray) -> list:
+                   delta: np.ndarray,
+                   target_weights: np.ndarray | None = None,
+                   source_weight: float = 1.0) -> list:
         """Run the per-root suite; returns the (possibly empty) list of
-        :class:`Violation` records."""
+        :class:`Violation` records.
+
+        ``target_weights``/``source_weight`` describe a weighted (folded
+        core) traversal so B4's distance identity stays exact — B1-B3
+        are weight-independent and run unchanged.
+        """
         violations: list = []
         self.metrics.inc("verify.checks", invariant="root")
         self._check_ranges(g, fwd, delta, violations)
@@ -108,7 +132,9 @@ class RootChecker:
             self._check_structure_full(g, fwd, scales_active, violations)
         else:
             self._check_structure_sampled(g, fwd, scales_active, violations)
-        self._check_checksum(fwd, delta, violations)
+        self._check_checksum(fwd, delta, violations,
+                             target_weights=target_weights,
+                             source_weight=source_weight)
         return violations
 
     # -- B1: ranges ----------------------------------------------------
@@ -284,9 +310,11 @@ class RootChecker:
                          f"to {expect[i]!r}")
 
     # -- B4: dependency checksum ---------------------------------------
-    def _check_checksum(self, fwd, delta, violations) -> None:
+    def _check_checksum(self, fwd, delta, violations,
+                        target_weights=None, source_weight=1.0) -> None:
         self.metrics.inc("verify.checks", invariant=CHECKSUM)
-        expect = expected_delta_checksum(fwd.distances)
+        expect = expected_delta_checksum(fwd.distances, target_weights,
+                                         source_weight)
         got = float(delta.sum())
         if not self._close(got, expect):
             self._record(violations, CHECKSUM, fwd.source,

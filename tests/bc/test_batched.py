@@ -51,9 +51,9 @@ class TestBatchedBC:
         with pytest.raises(ValueError):
             batched_betweenness_centrality(fig1, batch_size=0)
 
-    def test_overflow_fallback(self):
-        """A deep wide-path graph overflows the batched sigma; the
-        wrapper must fall back to the per-root engine and stay exact."""
+    @staticmethod
+    def _overflow_graph():
+        """Deep wide-path graph whose path counts overflow float64."""
         edges = []
         prev = [0]
         nxt = 1
@@ -62,12 +62,42 @@ class TestBatchedBC:
             nxt += 8
             edges.extend((p, q) for p in prev for q in layer)
             prev = layer
-        g = from_edges(edges)
+        return from_edges(edges)
+
+    def test_overflow_fallback(self):
+        """A deep wide-path graph overflows the batched sigma; the
+        wrapper must fall back to the per-root engine and stay exact."""
+        g = self._overflow_graph()
         with pytest.raises(FloatingPointError):
             batched_dependencies(g, np.array([0]))
         got = batched_betweenness_centrality(g, sources=[0])
         expect = betweenness_centrality(g, sources=[0])
         assert np.allclose(got, expect, rtol=1e-9)
+
+    def test_overflow_retry_keeps_the_metrics_registry(self):
+        """Regression: the per-root-engine retry used to drop the
+        caller's metrics registry, losing the traversal counters and
+        giving no signal that the fallback ever fired.  The retry must
+        count ``batched.overflow_retries`` (once per failed batch, not
+        per root) on the *same* registry and stay exact."""
+        from repro.observability import MetricsRegistry
+
+        g = self._overflow_graph()
+        metrics = MetricsRegistry()
+        got = batched_betweenness_centrality(g, sources=[0, 1, 2],
+                                             metrics=metrics, fold=False)
+        assert metrics.counter("batched.overflow_retries").value == 1.0
+        # The retried traversals land on the caller's registry too.
+        assert metrics.counter("frontier.sweeps").value >= 3.0
+        expect = betweenness_centrality(g, sources=[0, 1, 2], fold=False)
+        assert np.allclose(got, expect, rtol=1e-9)
+
+    def test_no_overflow_means_no_retry_counter(self, fig1):
+        from repro.observability import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        batched_betweenness_centrality(fig1, metrics=metrics)
+        assert metrics.counter("batched.overflow_retries").value == 0.0
 
     def test_isolated_roots(self, two_components):
         got = batched_betweenness_centrality(two_components, sources=[6])

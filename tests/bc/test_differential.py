@@ -13,6 +13,13 @@ graphs.
 Per-module test files keep their *behavioural* tests (traces, cost
 charging, error paths, batching fallbacks); their scattered
 value-equivalence checks were folded into this matrix.
+
+The matrix runs twice: once with the degree-1 folding preprocess
+disabled (the raw kernels against Brandes) and once folded (every
+implementation traverses the reduced core, and the expanded result must
+match the unfolded Brandes oracle to 1e-9) — including the directed and
+disconnected cases, where the fold is the identity and must change
+nothing.
 """
 
 from __future__ import annotations
@@ -25,9 +32,10 @@ import pytest
 from repro.bc.api import betweenness_centrality
 from repro.bc.batched import batched_betweenness_centrality
 from repro.bc.brandes import brandes_reference
-from repro.bc.edge_parallel import bc_edge_parallel
-from repro.bc.vertex_parallel import bc_vertex_parallel
-from repro.bc.work_efficient import bc_work_efficient
+from repro.bc.edge_parallel import bc_edge_parallel, edge_parallel_root
+from repro.bc.preprocess import fold_degree_one, folded_betweenness_centrality
+from repro.bc.vertex_parallel import bc_vertex_parallel, vertex_parallel_root
+from repro.bc.work_efficient import bc_work_efficient, work_efficient_root
 from repro.graph.build import from_edges
 from repro.graph.generators import (
     community_graph,
@@ -43,11 +51,12 @@ from repro.graph.generators import (
 from repro.gpusim import Device
 
 
-def _device_bc(strategy):
+def _device_bc(strategy, fold=False):
     def run(g):
         # check_memory off: gpu-fan's O(n^2) predecessor matrix is a
         # capacity question (Figure 5), not a correctness one.
-        return Device().run_bc(g, strategy=strategy, check_memory=False).bc
+        return Device().run_bc(g, strategy=strategy, check_memory=False,
+                               fold=fold).bc
 
     run.__name__ = f"device_{strategy}"
     return run
@@ -76,20 +85,87 @@ def _dynamic_bc(g):
     return bc2
 
 
-#: Implementation under test -> callable(graph) -> BC vector.
+def _folded_literal(forward):
+    """Folded variant of a literal kernel: the kernel's own forward
+    sweep on the reduced core, followed by the weighted accumulation of
+    :mod:`repro.bc.preprocess` (endpoint term ``w[v] + delta`` instead
+    of ``1 + delta``), expanded back to original vertex ids."""
+
+    def dependencies(core, cs, tw):
+        d, sigma = forward(core, cs)
+        n = core.num_vertices
+        delta = np.zeros(n, dtype=np.float64)
+        reached = (d >= 0) & (d < n)
+        if reached.sum() > 1:
+            for dep in range(int(d[reached].max()) - 1, 0, -1):
+                for w in np.flatnonzero(d == dep):
+                    w = int(w)
+                    acc = 0.0
+                    for v in core.adj[core.indptr[w]:core.indptr[w + 1]]:
+                        v = int(v)
+                        if d[v] == dep + 1:
+                            acc += sigma[w] / sigma[v] * (tw[v] + delta[v])
+                    delta[w] = acc
+        return delta
+
+    def run(g):
+        bc = folded_betweenness_centrality(fold_degree_one(g), dependencies)
+        if g.undirected:
+            bc /= 2.0
+        return bc
+
+    return run
+
+
+def _we_forward(core, cs):
+    state = work_efficient_root(core, cs)
+    return state.d, state.sigma
+
+
+def _ep_forward(core, cs):
+    d, sigma, _, _ = edge_parallel_root(core, cs)
+    return d, sigma
+
+
+def _vp_forward(core, cs):
+    d, sigma, _, _ = vertex_parallel_root(core, cs)
+    return d, sigma
+
+
+#: Implementation under test -> callable(graph) -> BC vector (folding
+#: explicitly off: this half of the matrix is the raw kernels).
 ALGORITHMS = {
-    "engine": betweenness_centrality,
+    "engine": lambda g: betweenness_centrality(g, fold=False),
     "work_efficient": bc_work_efficient,
     "edge_parallel": bc_edge_parallel,
     "vertex_parallel": bc_vertex_parallel,
-    "batched": batched_betweenness_centrality,
+    "batched": lambda g: batched_betweenness_centrality(g, fold=False),
     "device_work_efficient": _device_bc("work-efficient"),
     "device_edge_parallel": _device_bc("edge-parallel"),
     "device_vertex_parallel": _device_bc("vertex-parallel"),
     "device_gpu_fan": _device_bc("gpu-fan"),
     "device_hybrid": _device_bc("hybrid"),
     "device_sampling": _device_bc("sampling"),
+    "device_batched": _device_bc("batched"),
     "dynamic": _dynamic_bc,
+}
+
+#: Folded variant of every implementation: traverse the degree-1 core,
+#: expand, and the values must still equal the unfolded Brandes oracle.
+FOLDED_ALGORITHMS = {
+    "engine": lambda g: betweenness_centrality(g, fold=True),
+    "work_efficient": _folded_literal(_we_forward),
+    "edge_parallel": _folded_literal(_ep_forward),
+    "vertex_parallel": _folded_literal(_vp_forward),
+    "batched": lambda g: batched_betweenness_centrality(g, fold=True),
+    "device_work_efficient": _device_bc("work-efficient", fold=True),
+    "device_edge_parallel": _device_bc("edge-parallel", fold=True),
+    "device_vertex_parallel": _device_bc("vertex-parallel", fold=True),
+    "device_gpu_fan": _device_bc("gpu-fan", fold=True),
+    "device_hybrid": _device_bc("hybrid", fold=True),
+    "device_sampling": _device_bc("sampling", fold=True),
+    "device_batched": _device_bc("batched", fold=True),
+    "dynamic": _dynamic_bc,  # starts from the folded-by-default engine
 }
 
 #: Graph case -> zero-arg builder.  One representative per generator
@@ -117,6 +193,21 @@ GRAPHS = {
     "router": lambda: router_topology(60, attach=3, seed=4),
     "rgg": lambda: random_geometric_graph(64, avg_degree=6.0, seed=13),
     "web": lambda: copying_web_graph(64, out_degree=4, seed=9),
+    # Pendant-heavy fixtures: the degree-1 fold's best cases, where the
+    # peel removes most (or all but one) of the graph.
+    "pendant_star": lambda: from_edges([(0, i) for i in range(1, 41)]),
+    "caterpillar": lambda: from_edges(
+        [(i, i + 1) for i in range(9)]
+        + [(i, 10 + 2 * i + j) for i in range(10) for j in range(2)]),
+    "broom": lambda: from_edges(
+        [(i, i + 1) for i in range(9)] + [(9, 10 + j) for j in range(15)]),
+    "tree_of_cliques": lambda: from_edges(
+        # three K4 cliques joined in a tree, with pendant chains/leaves
+        [(a, b) for base in (0, 4, 8)
+         for a in range(base, base + 4)
+         for b in range(a + 1, base + 4)]
+        + [(3, 4), (7, 8)]
+        + [(11, 12), (12, 13), (0, 14), (5, 15)]),
 }
 
 
@@ -137,6 +228,37 @@ def test_matches_brandes(algo, graph_name):
         f"{algo} diverges from Brandes on {graph_name}: "
         f"max |err| = {np.max(np.abs(got - expect)):.3e}"
     )
+
+
+@pytest.mark.fold
+@pytest.mark.parametrize("algo", sorted(FOLDED_ALGORITHMS))
+@pytest.mark.parametrize("graph_name", sorted(GRAPHS))
+def test_folded_matches_unfolded_brandes(algo, graph_name):
+    """The exactness matrix of the degree-1 preprocess: every
+    implementation, run folded, must reproduce the *unfolded* Brandes
+    values to 1e-9 on every structural class — including directed and
+    disconnected graphs, where the fold is the identity."""
+    g, expect = _case(graph_name)
+    got = FOLDED_ALGORITHMS[algo](g)
+    assert got.shape == expect.shape
+    err = float(np.max(np.abs(got - expect))) if got.size else 0.0
+    assert err <= 1e-9, (
+        f"folded {algo} diverges from Brandes on {graph_name}: "
+        f"max |err| = {err:.3e}"
+    )
+
+
+@pytest.mark.fold
+def test_pendant_fixtures_actually_fold():
+    """The new fixtures must exercise deep peels, not identity folds."""
+    for name, expect_core in [("pendant_star", 1), ("caterpillar", 1),
+                              ("broom", 1), ("tree_of_cliques", 12)]:
+        g, _ = _case(name)
+        fold = fold_degree_one(g)
+        assert fold.core.num_vertices == expect_core, name
+    for name in ("directed_dag", "directed_cycles"):
+        g, _ = _case(name)
+        assert fold_degree_one(g).is_identity, name
 
 
 def test_kron_case_has_isolated_vertices():

@@ -127,7 +127,9 @@ class TestGrid:
         doc, _ = run_bench_grid(**GRID_KW)
         assert doc["config"]["n_samps"] == default_n_samps(4) == 2
         for row in doc["results"]:
-            if row["strategy"] == "sampling":
+            if row["strategy"] in ("sampling", "batched"):
+                # batched classifies through the same Algorithm 5 depth
+                # rule and must expose the same audit fields.
                 assert row["sampling_chose_edge_parallel"] in (True, False)
                 assert row["sampling_median_depth"] is not None
                 assert row["sampling_depth_cutoff"] is not None

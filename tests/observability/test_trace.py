@@ -124,7 +124,9 @@ class TestDeterminismAndIO:
 class TestExplain:
     def test_hybrid_switch_shows_exact_alpha_beta_comparison(
             self, star_burst):
-        doc, _ = _traced_run(star_burst, "hybrid", roots=1)
+        # fold=False: the star's hybrid switch is exactly what this
+        # probes, and degree-1 folding would reduce it to one vertex.
+        doc, _ = _traced_run(star_burst, "hybrid", roots=1, fold=False)
         text = "\n".join(explain_lines(doc))
         assert ("|Δfrontier|=999 > alpha=768 and q_next=1000 > beta=512: "
                 "edge-parallel") in text
@@ -146,7 +148,7 @@ class TestExplain:
             assert "guarded per iteration by frontier >= 512" in text
 
     def test_identical_roots_are_grouped(self, star_burst):
-        doc, _ = _traced_run(star_burst, "hybrid", roots=4)
+        doc, _ = _traced_run(star_burst, "hybrid", roots=4, fold=False)
         text = "\n".join(explain_lines(doc, root=None))
         # Leaf roots 1..3 share a decision signature; root 0 differs.
         assert "roots 1, 2, 3" in text

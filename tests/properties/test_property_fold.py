@@ -1,0 +1,140 @@
+"""Property-based tests for the degree-1 folding preprocess."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bc.api import betweenness_centrality
+from repro.bc.brandes import brandes_reference
+from repro.bc.preprocess import fold_degree_one, per_root_correction
+from repro.graph.build import from_edges
+
+pytestmark = pytest.mark.fold
+
+
+@st.composite
+def graphs(draw, max_n=20, max_m=48):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    m = draw(st.integers(min_value=0, max_value=max_m))
+    edges = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            min_size=m, max_size=m,
+        )
+    )
+    return from_edges(edges, num_vertices=n)
+
+
+@st.composite
+def trees(draw, max_n=24):
+    """Uniform-ish random tree: each vertex i >= 1 attaches to a
+    uniformly drawn earlier vertex."""
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    parents = [draw(st.integers(0, i - 1)) for i in range(1, n)]
+    return from_edges([(i + 1, p) for i, p in enumerate(parents)],
+                      num_vertices=n)
+
+
+def _edge_multiset(g):
+    """Undirected edge multiset as a sorted list of (min, max) pairs."""
+    src = g.edge_sources()
+    return sorted(zip(np.minimum(src, g.adj).tolist(),
+                      np.maximum(src, g.adj).tolist()))
+
+
+@given(graphs())
+@settings(max_examples=50, deadline=None)
+def test_fold_partitions_vertices_and_induces_the_core(g):
+    """Round-trip structure: every vertex is either folded or residual,
+    and the core is exactly the induced subgraph on the residual set —
+    same vertex count, same edge multiset after relabelling."""
+    fold = fold_degree_one(g)
+    n = g.num_vertices
+    assert fold.core_vertices.size + fold.num_folded == n
+    assert fold.core.num_vertices == fold.core_vertices.size
+    # core_index inverts core_vertices; folded vertices map to -1.
+    assert np.array_equal(fold.core_index[fold.core_vertices],
+                          np.arange(fold.core_vertices.size))
+    folded_mask = np.ones(n, dtype=bool)
+    folded_mask[fold.core_vertices] = False
+    assert np.all(fold.core_index[folded_mask] == -1)
+    assert np.all(fold.parent[fold.core_vertices] == -1)
+    assert np.all(fold.parent[folded_mask] >= 0)
+    # Edge multiset of the residual core == original edges with both
+    # endpoints residual, relabelled through core_index.
+    keep = set(fold.core_vertices.tolist())
+    src = g.edge_sources()
+    expect = sorted(
+        (min(int(fold.core_index[u]), int(fold.core_index[v])),
+         max(int(fold.core_index[u]), int(fold.core_index[v])))
+        for u, v in zip(src.tolist(), g.adj.tolist())
+        if u in keep and v in keep)
+    assert _edge_multiset(fold.core) == expect
+    # Weight conservation: residual weights account for every vertex.
+    assert float(fold.weights[fold.core_vertices].sum()) == float(n)
+
+
+@given(graphs())
+@settings(max_examples=50, deadline=None)
+def test_fold_is_idempotent(g):
+    """The core has no pendant vertices left: folding it again is the
+    identity fold."""
+    fold = fold_degree_one(g)
+    again = fold_degree_one(fold.core)
+    assert again.is_identity
+    assert again.core is fold.core
+
+
+@given(trees())
+@settings(max_examples=50, deadline=None)
+def test_random_tree_folds_flat_and_stays_exact(g):
+    """A tree is all pendant fringe: the peel must collapse it to a
+    single residual vertex (two only transiently, resolved by the K2
+    rule), and the folded engine must still equal Brandes."""
+    fold = fold_degree_one(g)
+    assert fold.core.num_vertices <= 2
+    assert np.allclose(betweenness_centrality(g, fold=True),
+                       brandes_reference(g), rtol=1e-9, atol=1e-9)
+
+
+@given(graphs())
+@settings(max_examples=40, deadline=None)
+def test_folded_engine_matches_brandes(g):
+    assert np.allclose(betweenness_centrality(g, fold=True),
+                       brandes_reference(g), rtol=1e-9, atol=1e-9)
+
+
+@given(graphs(max_n=14, max_m=30))
+@settings(max_examples=40, deadline=None)
+def test_digest_is_byte_deterministic(g):
+    """Re-folding the same graph yields the same digest; the digest
+    changes when the graph does (vertex appended)."""
+    a = fold_degree_one(g)
+    b = fold_degree_one(g)
+    assert a.digest() == b.digest()
+    assert len(a.digest()) == 64
+    src = g.edge_sources()
+    g2 = from_edges(list(zip(src.tolist(), g.adj.tolist()))[::2],
+                    num_vertices=g.num_vertices + 1)
+    if g2.digest() != g.digest():
+        assert fold_degree_one(g2).digest() != a.digest()
+
+
+@given(graphs(max_n=12, max_m=24), st.data())
+@settings(max_examples=40, deadline=None)
+def test_per_root_correction_reproduces_single_root(g, data):
+    """One weighted core traversal plus the closed-form correction
+    equals the original root's unfolded dependency vector."""
+    from repro.bc.accumulation import dependency_accumulation
+    from repro.bc.frontier import forward_sweep
+
+    fold = fold_degree_one(g)
+    root = data.draw(st.integers(0, g.num_vertices - 1), label="root")
+    core_root, corr = per_root_correction(fold, root)
+    tw = fold.core_weights
+    fwd = forward_sweep(fold.core, core_root)
+    delta = dependency_accumulation(fold.core, fwd, target_weights=tw)
+    got = fold.expand(delta) + corr
+    expect = dependency_accumulation(g, forward_sweep(g, root))
+    assert np.allclose(got, expect, rtol=1e-9, atol=1e-9)
