@@ -295,6 +295,31 @@ def build_service_parser() -> argparse.ArgumentParser:
     res_p.add_argument("job_id")
     res_p.add_argument("--out", default=None, metavar="PATH",
                        help="write the full repro.result/v1 values here")
+
+    jour_p = sub.add_parser("journal", parents=[common],
+                            help="inspect the on-disk journal chain")
+    jour_p.add_argument("journal_action", choices=["verify"],
+                        help="'verify': per-record checksum scan of "
+                             "every segment; classifies a torn active "
+                             "tail (benign) vs interior rot (fatal)")
+    jour_p.add_argument("path", nargs="?", default=None,
+                        help="journal file or service root "
+                             "(default: --root)")
+
+    soak_p = sub.add_parser("soak", parents=[common],
+                            help="seeded chaos soak: kills, disk "
+                                 "faults, retry storms; exits nonzero "
+                                 "on any invariant violation")
+    soak_p.add_argument("--seed", type=int, default=7)
+    soak_p.add_argument("--rounds", type=int, default=4)
+    soak_p.add_argument("--jobs", type=int, default=7,
+                        help="submissions per round (default 7)")
+    soak_p.add_argument("--clients", type=int, default=3,
+                        help="concurrent retry-storm clients")
+    soak_p.add_argument("--kill-every-round", action="store_true",
+                        help="arm a SIGKILL-model crash in every round")
+    soak_p.add_argument("--report-out", default=None, metavar="PATH",
+                        help="write the full JSON soak report here")
     return parser
 
 
@@ -484,7 +509,6 @@ def _spool_ticket(root: str, ticket: dict) -> str:
 def _service_main(argv) -> int:
     import json
     import os
-    import uuid
 
     from .errors import (
         JobSpecError,
@@ -498,7 +522,7 @@ def _service_main(argv) -> int:
         ResultCache,
         Scheduler,
         SimDevice,
-        read_journal,
+        read_journal_chain,
         replay_state,
     )
 
@@ -536,21 +560,84 @@ def _service_main(argv) -> int:
             return 0
 
         if args.service_command == "submit":
-            job_id = args.job_id or f"s{uuid.uuid4().hex[:10]}"
             spec = JobSpec(
-                job_id=job_id, graph=args.graph,
+                job_id=args.job_id or "", graph=args.graph,
                 scale_factor=args.scale_factor, graph_seed=args.graph_seed,
                 strategy=args.strategy, roots=args.roots, seed=args.seed,
                 tenant=args.tenant, deadline_seconds=args.deadline,
                 allow_degrade=not args.no_degrade,
                 fold=not args.no_fold, faults=args.faults)
+            if not spec.job_id:
+                # Content-derived id: resubmitting the identical query
+                # (lost ack, impatient retry) folds into the same job
+                # instead of enqueuing it twice.
+                from .client import derive_job_id
+
+                spec = spec.with_id(derive_job_id(spec))
             _spool_ticket(root, {"op": "submit", "job": spec.to_dict()})
-            print(job_id)
+            print(spec.job_id)
             return 0
 
         if args.service_command == "cancel":
             _spool_ticket(root, {"op": "cancel", "job_id": args.job_id})
             print(f"cancel requested for {args.job_id}")
+            return 0
+
+        if args.service_command == "journal":
+            from .service import verify_journal
+
+            target = args.path or journal_path
+            if os.path.isdir(target):
+                target = os.path.join(target, "journal.jsonl")
+            report = verify_journal(target)
+            if (not report["files"]
+                    or all(row["status"] == "missing"
+                           for row in report["files"])):
+                raise _InputError(
+                    f"error: no journal at {target!r}. Start the daemon "
+                    f"with 'repro service serve --root {root}'.")
+            for row in report["files"]:
+                extra = f" [{row['error']}]" if row.get("error") else ""
+                seqs = ("-" if row["first_seq"] is None else
+                        f"{row['first_seq']}..{row['last_seq']}")
+                print(f"{row['role']:>8s} {os.path.basename(row['path']):>28s} "
+                      f"{row['records']:>5d} rec  seq {seqs:>13s}  "
+                      f"{row['bytes']:>7d} B  {row['status']}{extra}")
+            for note in report["notes"]:
+                print(f"note: {note}")
+            print(f"{report['total_records']} record(s) across "
+                  f"{len(report['files'])} file(s)")
+            if report["problems"]:
+                for problem in report["problems"]:
+                    print(f"error: {problem}", file=sys.stderr)
+                return 2
+            print("journal chain verifies clean")
+            return 0
+
+        if args.service_command == "soak":
+            from .observability import MetricsRegistry
+            from .service import SoakConfig, run_soak
+
+            cfg = SoakConfig(rounds=args.rounds,
+                             jobs_per_round=args.jobs,
+                             clients=args.clients,
+                             kill_every_round=args.kill_every_round)
+            report = run_soak(root, seed=args.seed, config=cfg,
+                              metrics=MetricsRegistry(), log=print)
+            print(f"soak seed={report['seed']}: "
+                  f"{len(report['rounds'])} round(s), "
+                  f"{report['kills']} kill(s), "
+                  f"{report['faults_injected']} storage fault(s), "
+                  f"{report['client_retries']} client retrie(s), "
+                  f"{report['deduped']} deduped submit(s)")
+            if args.report_out:
+                _write_report(args.report_out, report)
+            if report["violations"]:
+                for v in report["violations"]:
+                    print(f"VIOLATION (round {v['round']}): "
+                          f"{v['invariant']}", file=sys.stderr)
+                return 1
+            print("all invariants held")
             return 0
 
         # status/results: read-only over the journal + cache — valid at
@@ -559,7 +646,7 @@ def _service_main(argv) -> int:
             raise _InputError(
                 f"error: no journal at {journal_path!r}. Start the "
                 f"daemon with 'repro service serve --root {root}'.")
-        records, _torn = read_journal(journal_path)
+        records, _torn = read_journal_chain(journal_path)
         state = replay_state(records, journal_path)
 
         if args.service_command == "status":

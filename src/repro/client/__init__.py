@@ -1,0 +1,24 @@
+"""Client SDK for the BC service (:mod:`repro.service`).
+
+:class:`BCClient` is the retry-aware, idempotent way to talk to the
+service: typed exponential backoff with jitter floored at the server's
+``retry_after`` hints, content-hash job ids so a retried submit can
+never duplicate work, and hedged status polling that falls back to
+reading the journal offline when the primary transport fails.
+"""
+
+from .sdk import (
+    BCClient,
+    InProcessTransport,
+    RetryPolicy,
+    SpoolTransport,
+    derive_job_id,
+)
+
+__all__ = [
+    "BCClient",
+    "InProcessTransport",
+    "RetryPolicy",
+    "SpoolTransport",
+    "derive_job_id",
+]

@@ -29,6 +29,7 @@ __all__ = [
     "ServiceOverloadError",
     "CircuitOpenError",
     "DeadlineExceededError",
+    "StorageFullError",
 ]
 
 
@@ -195,18 +196,25 @@ class ServiceOverloadError(ServiceError):
 
     Raised instead of queueing when the bounded queue is full or the
     tenant's quota is exhausted — the typed error load generators and
-    clients key retry/"try later" behaviour on.
+    clients key retry/"try later" behaviour on.  ``retry_after`` is the
+    admission controller's hint (simulated seconds) for how long the
+    client should wait before re-offering the job; :class:`BCClient
+    <repro.client.BCClient>` uses it as the floor of its exponential
+    backoff.
     """
 
     def __init__(self, reason: str, *, tenant: str = "", depth: int = 0,
-                 limit: int = 0):
+                 limit: int = 0, retry_after: float | None = None):
         self.reason = str(reason)
         self.tenant = str(tenant)
         self.depth = int(depth)
         self.limit = int(limit)
+        self.retry_after = None if retry_after is None else float(retry_after)
         detail = f" ({self.depth}/{self.limit})" if limit else ""
         who = f" for tenant {self.tenant!r}" if tenant else ""
-        super().__init__(f"job shed: {self.reason}{who}{detail}")
+        hint = (f"; retry after {self.retry_after:.3f}s"
+                if self.retry_after is not None else "")
+        super().__init__(f"job shed: {self.reason}{who}{detail}{hint}")
 
 
 class CircuitOpenError(ServiceError):
@@ -224,6 +232,27 @@ class CircuitOpenError(ServiceError):
         super().__init__(
             f"circuit open for ({self.graph_key}, {self.strategy}) after "
             f"{self.failures} consecutive failures"
+        )
+
+
+class StorageFullError(ServiceError):
+    """A durable service write could not complete because the disk is
+    full (``ENOSPC``), even after the service reclaimed space by
+    compacting the journal and evicting unpinned cache entries.
+
+    The write it reports was **not** acknowledged: the journal/cache
+    were restored to their pre-write state, so nothing was half-done.
+    Clients should treat it like overload — back off and retry.
+    """
+
+    def __init__(self, path: str, op: str, attempts: int = 1):
+        self.path = str(path)
+        self.op = str(op)
+        self.attempts = int(attempts)
+        super().__init__(
+            f"disk full: {self.op} to {self.path!r} failed with ENOSPC "
+            f"after {self.attempts} attempt(s) (space reclaim did not "
+            f"free enough)"
         )
 
 

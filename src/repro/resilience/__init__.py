@@ -25,11 +25,17 @@ from .driver import (
 )
 from .faults import (
     COLLECTIVES,
+    ENOSPC,
     FAIL_STOP,
+    FSYNC_LIE,
     OOM,
+    ROT,
     SDC,
     SDC_SITES,
+    STORAGE_KINDS,
+    STORAGE_TARGETS,
     STRAGGLER,
+    TORN,
     ActiveFaults,
     FaultEvent,
     FaultPlan,
@@ -46,6 +52,12 @@ __all__ = [
     "SDC",
     "SDC_SITES",
     "COLLECTIVES",
+    "ENOSPC",
+    "TORN",
+    "FSYNC_LIE",
+    "ROT",
+    "STORAGE_KINDS",
+    "STORAGE_TARGETS",
     "apply_sdc",
     "flip_bit",
     "FaultEvent",

@@ -28,6 +28,24 @@ single seeded bit-flip in one of the per-root arrays (``sigma``,
 reduce contribution (injected by :meth:`FaultyComm.reduce`).  Detection
 and repair live in :mod:`repro.verify` and the resilient driver; the
 injector's job is only to corrupt deterministically.
+
+The **storage** kinds model the disk misbehaving under the BC service
+(:mod:`repro.service`) instead of a rank:
+
+* ``enospc`` — the write fails with ``OSError(ENOSPC)``; nothing lands.
+* ``torn`` — a deterministic *prefix* of the bytes lands, then the
+  write fails with ``OSError(EIO)`` (a partial write the writer is told
+  about).
+* ``fsync-lie`` — write/flush/fsync all report success but the bytes
+  are silently dropped (the page-cache lie read-back verification must
+  catch).
+* ``rot`` — the write succeeds, then one bit of the file rots at rest.
+
+They target the service's write *sites* (``journal``/``cache``/
+``spool``/``any``) rather than ranks, counted in successful writes to
+that site: ``enospc:2@journal`` fails the third journal write.  The
+consumer is :class:`repro.service.storage.ServiceStorage`, which routes
+every durable service write through :meth:`ActiveFaults.storage_fire`.
 """
 
 from __future__ import annotations
@@ -47,6 +65,12 @@ __all__ = [
     "OOM",
     "STRAGGLER",
     "SDC",
+    "ENOSPC",
+    "TORN",
+    "FSYNC_LIE",
+    "ROT",
+    "STORAGE_KINDS",
+    "STORAGE_TARGETS",
     "COLLECTIVES",
     "SDC_SITES",
     "FaultEvent",
@@ -63,12 +87,22 @@ FAIL_STOP = "fail-stop"
 OOM = "oom"
 STRAGGLER = "straggler"
 SDC = "sdc"
-_KINDS = (FAIL_STOP, OOM, STRAGGLER, SDC)
+ENOSPC = "enospc"
+TORN = "torn"
+FSYNC_LIE = "fsync-lie"
+ROT = "rot"
+#: Disk-fault kinds consumed by the service storage layer.
+STORAGE_KINDS = (ENOSPC, TORN, FSYNC_LIE, ROT)
+_KINDS = (FAIL_STOP, OOM, STRAGGLER, SDC) + STORAGE_KINDS
 #: Kinds :meth:`FaultPlan.random` draws from by default.  SDC is opt-in
 #: because silent corruption is only meaningful when a verification
 #: policy is active — injecting it into an unverified run makes the
-#: result wrong by construction.
+#: result wrong by construction.  Storage kinds are opt-in because they
+#: only fire inside the service's write path.
 _RANDOM_KINDS = (FAIL_STOP, OOM, STRAGGLER)
+
+#: Write sites a storage fault can target.  ``any`` matches every site.
+STORAGE_TARGETS = ("journal", "cache", "spool", "any")
 
 #: Injection points a fail-stop can target ("compute" plus every
 #: :class:`SimComm` collective).
@@ -119,11 +153,18 @@ class FaultEvent:
         the position within the victim rank's current root partition at
         which the flip fires.
     bit:
-        For ``sdc``: which bit of the victim 64-bit word is flipped.
+        For ``sdc``/``rot``: which bit of the victim 64-bit word
+        (``sdc``) or victim byte (``rot``) is flipped.
+    target:
+        For storage kinds: the write site the fault strikes (one of
+        :data:`STORAGE_TARGETS`; ``any`` matches every site).
+    after_writes:
+        For storage kinds: how many matching write attempts complete
+        unharmed before the fault fires (``0`` = the first write).
     """
 
     kind: str
-    rank: int
+    rank: int = 0
     where: str = "compute"
     after_roots: int = 0
     times: int = 1
@@ -131,6 +172,8 @@ class FaultEvent:
     site: str = "delta"
     root_index: int = 0
     bit: int = DEFAULT_SDC_BIT
+    target: str = "any"
+    after_writes: int = 0
 
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
@@ -157,6 +200,33 @@ class FaultEvent:
             raise FaultSpecError("root_index must be >= 0")
         if not 0 <= self.bit <= 63:
             raise FaultSpecError("bit must be in [0, 63]")
+        if self.target not in STORAGE_TARGETS:
+            raise FaultSpecError(
+                f"unknown storage target {self.target!r}; known: "
+                f"{STORAGE_TARGETS}"
+            )
+        if self.after_writes < 0:
+            raise FaultSpecError("after_writes must be >= 0")
+        if self.kind in STORAGE_KINDS:
+            if self.times != 1 and self.kind != ENOSPC:
+                raise FaultSpecError(
+                    f"only enospc storage faults repeat (xTIMES); "
+                    f"{self.kind} is one-shot")
+            if self.rank != 0 or self.after_roots or self.root_index:
+                raise FaultSpecError(
+                    f"{self.kind} faults target writes, not ranks/roots")
+            if self.bit != DEFAULT_SDC_BIT and self.kind != ROT:
+                raise FaultSpecError(
+                    f"#BIT is only meaningful for rot, not {self.kind}")
+        else:
+            if self.target != "any" or self.after_writes:
+                raise FaultSpecError(
+                    f"@TARGET/after_writes are only for storage fault "
+                    f"kinds, not {self.kind}")
+
+    @property
+    def is_storage(self) -> bool:
+        return self.kind in STORAGE_KINDS
 
     def spec(self) -> str:
         """The entry's canonical CLI spec; ``FaultPlan.parse`` inverts
@@ -173,6 +243,15 @@ class FaultEvent:
                                          else "")
         if self.kind == STRAGGLER:
             return f"straggler:{self.rank}x{self.factor!r}"
+        if self.kind in STORAGE_KINDS:
+            out = f"{self.kind}:{self.after_writes}"
+            if self.target != "any":
+                out += f"@{self.target}"
+            if self.kind == ENOSPC and self.times != 1:
+                out += f"x{self.times}"
+            if self.kind == ROT and self.bit != DEFAULT_SDC_BIT:
+                out += f"#{self.bit}"
+            return out
         out = f"sdc:{self.rank}"
         if self.site != "delta":
             out += f"@{self.site}"
@@ -224,6 +303,14 @@ class FaultPlan:
                                bit=bit),))
 
     @classmethod
+    def storage(cls, kind: str, target: str = "any", after_writes: int = 0,
+                times: int = 1, bit: int = DEFAULT_SDC_BIT) -> "FaultPlan":
+        """One storage fault: ``kind`` strikes the write to ``target``
+        after ``after_writes`` unharmed matching writes."""
+        return cls((FaultEvent(kind, target=target, after_writes=after_writes,
+                               times=times, bit=bit),))
+
+    @classmethod
     def random(cls, num_ranks: int, seed: int = 0, num_faults: int = 1,
                kinds=_RANDOM_KINDS) -> "FaultPlan":
         """A deterministic random plan over ``num_ranks`` ranks."""
@@ -263,14 +350,22 @@ class FaultPlan:
             oom:RANK[xTIMES]                  transient OOM
             straggler:RANKxFACTOR             slowdown
             sdc:RANK[@SITE][+ROOT_INDEX][#BIT]  silent bit-flip
+            enospc:AFTER[@TARGET][xTIMES]     disk-full write failure
+            torn:AFTER[@TARGET]               partial write + EIO
+            fsync-lie:AFTER[@TARGET]          silent write drop
+            rot:AFTER[@TARGET][#BIT]          at-rest bit rot
 
         ``SITE`` is one of :data:`SDC_SITES` (default ``delta``),
         ``ROOT_INDEX`` the position within the rank's root partition
         (default 0), ``BIT`` the flipped bit in [0, 63] (default 55).
+        For storage kinds, ``AFTER`` counts unharmed matching writes
+        before the fault fires and ``TARGET`` is one of
+        :data:`STORAGE_TARGETS` (default ``any``).
 
         Examples: ``"fail:1@reduce"``, ``"fail:2+3"``, ``"oom:0x2"``,
         ``"straggler:1x3.5;fail:0@bcast"``, ``"sdc:1@sigma+2#62"``,
-        ``"sdc:0@reduce"``.
+        ``"sdc:0@reduce"``, ``"enospc:2@journalx3"``,
+        ``"torn:0@cache;rot:1@journal#3"``.
 
         :meth:`FaultPlan.__str__` emits this grammar, and
         ``FaultPlan.parse(str(plan)) == plan`` for every valid plan
@@ -333,10 +428,32 @@ class FaultPlan:
                             )
                     events.append(FaultEvent(SDC, int(rest), site=site,
                                              root_index=root_index, bit=bit))
+                elif kind in STORAGE_KINDS:
+                    times = 1
+                    bit = DEFAULT_SDC_BIT
+                    if kind == ENOSPC and "x" in rest:
+                        rest, times_s = rest.rsplit("x", 1)
+                        times = int(times_s)
+                    if kind == ROT and "#" in rest:
+                        rest, bit_s = rest.split("#", 1)
+                        bit = int(bit_s)
+                    target = "any"
+                    if "@" in rest:
+                        rest, target = rest.split("@", 1)
+                        target = target.strip()
+                        if target not in STORAGE_TARGETS:
+                            raise FaultSpecError(
+                                f"bad {kind} entry {entry!r}: unknown "
+                                f"target {target!r}; known: "
+                                f"{STORAGE_TARGETS}"
+                            )
+                    events.append(FaultEvent(kind, target=target,
+                                             after_writes=int(rest),
+                                             times=times, bit=bit))
                 else:
                     raise FaultSpecError(
                         f"unknown fault kind {kind!r}; known: fail, oom, "
-                        f"straggler, sdc"
+                        f"straggler, sdc, enospc, torn, fsync-lie, rot"
                     )
             except FaultSpecError:
                 raise
@@ -418,8 +535,15 @@ class ActiveFaults:
         self._sdc_root = {}      # (rank, root_index) -> [events]
         self._sdc_partial = {}   # rank -> [events]
         self._sdc_reduce = []    # [events]
+        # Storage events, in plan order.  Each entry keeps its own count
+        # of *unharmed* matching writes seen so far and how many firings
+        # remain (>1 only for a repeating enospc).
+        self._storage = []       # [{"ev": ev, "seen": 0, "remaining": n}]
         for ev in plan.events:
-            if ev.kind == FAIL_STOP and ev.where != "compute":
+            if ev.kind in STORAGE_KINDS:
+                self._storage.append(
+                    {"ev": ev, "seen": 0, "remaining": ev.times})
+            elif ev.kind == FAIL_STOP and ev.where != "compute":
                 key = (ev.rank, ev.where)
                 self._collective[key] = self._collective.get(key, 0) + 1
             elif ev.kind == FAIL_STOP:
@@ -506,6 +630,44 @@ class ActiveFaults:
         return (sum(len(v) for v in self._sdc_root.values())
                 + sum(len(v) for v in self._sdc_partial.values())
                 + len(self._sdc_reduce))
+
+    # -- storage faults -------------------------------------------------
+    def storage_fire(self, target: str):
+        """One durable write to ``target`` is being attempted; returns
+        the :class:`FaultEvent` that strikes it, or ``None``.
+
+        At most one event fires per attempt: the first live event (in
+        plan order) matching ``target`` whose count of unharmed matching
+        writes has reached its ``after_writes``.  A firing event
+        consumes one of its ``times`` (so a repeating ``enospc`` keeps
+        refiring — the disk stays full — while every other kind is
+        one-shot).  Only when *no* event fires does the attempt count as
+        an unharmed write for the remaining live events.
+        """
+        target = str(target)
+        if target not in STORAGE_TARGETS:
+            raise FaultSpecError(
+                f"unknown storage target {target!r}; known: "
+                f"{STORAGE_TARGETS}"
+            )
+        for entry in self._storage:
+            ev = entry["ev"]
+            if ev.target not in ("any", target):
+                continue
+            if entry["seen"] >= ev.after_writes:
+                entry["remaining"] -= 1
+                if entry["remaining"] <= 0:
+                    self._storage.remove(entry)
+                return ev
+        for entry in self._storage:
+            if entry["ev"].target in ("any", target):
+                entry["seen"] += 1
+        return None
+
+    @property
+    def storage_events_pending(self) -> int:
+        """How many storage-fault firings remain unconsumed."""
+        return sum(entry["remaining"] for entry in self._storage)
 
 
 class FaultyComm(SimComm):

@@ -45,8 +45,11 @@ from .journal import (
     ReplayedState,
     decode_line,
     encode_record,
+    journal_inventory,
     read_journal,
+    read_journal_chain,
     replay_state,
+    verify_journal,
 )
 from .loadgen import (
     SCENARIOS,
@@ -54,6 +57,8 @@ from .loadgen import (
     run_load_scenario,
     service_bench_rows,
 )
+from .soak import SoakConfig, run_soak
+from .storage import ServiceStorage, SimulatedCrash
 from .scheduler import (
     CircuitBreaker,
     JobOutcome,
@@ -69,6 +74,9 @@ __all__ = [
     "JobSpec", "JobRecord", "legal_transition",
     "JOURNAL_SCHEMA", "RECORD_KINDS", "JobJournal", "ReplayedState",
     "encode_record", "decode_line", "read_journal", "replay_state",
+    "journal_inventory", "read_journal_chain", "verify_journal",
+    "ServiceStorage", "SimulatedCrash",
+    "SoakConfig", "run_soak",
     "RESULT_SCHEMA", "ResultCache", "result_key",
     "AdmissionPolicy", "AdmissionController",
     "CircuitBreaker", "SimDevice", "JobOutcome", "Scheduler",

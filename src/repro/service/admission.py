@@ -84,15 +84,19 @@ class AdmissionController:
         pol = self.policy
         if queue_depth >= pol.max_queue:
             self.metrics.inc("service.shed", reason="queue-full")
-            raise ServiceOverloadError("queue full", tenant=spec.tenant,
-                                       depth=queue_depth,
-                                       limit=pol.max_queue)
+            # Deterministic retry-after hint, proportional to how far
+            # over the bound we are: deeper backlog, longer wait.  The
+            # client SDK uses it as the floor of its backoff.
+            raise ServiceOverloadError(
+                "queue full", tenant=spec.tenant, depth=queue_depth,
+                limit=pol.max_queue,
+                retry_after=0.1 * (1 + queue_depth - pol.max_queue))
         if tenant_live >= pol.tenant_quota:
             self.metrics.inc("service.shed", reason="tenant-quota")
-            raise ServiceOverloadError("tenant quota exhausted",
-                                       tenant=spec.tenant,
-                                       depth=tenant_live,
-                                       limit=pol.tenant_quota)
+            raise ServiceOverloadError(
+                "tenant quota exhausted", tenant=spec.tenant,
+                depth=tenant_live, limit=pol.tenant_quota,
+                retry_after=0.1 * (1 + tenant_live - pol.tenant_quota))
         if queue_depth >= pol.degrade_threshold and spec.allow_degrade:
             self.metrics.inc("service.admitted", mode="degraded")
             return "degrade"

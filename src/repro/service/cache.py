@@ -1,4 +1,4 @@
-"""Content-addressed, checksum-verified result cache.
+"""Content-addressed, checksum-verified, byte-budgeted result cache.
 
 Results are keyed by what *determines* them — the graph's content
 digest, the strategy, the exact root set, the seed, and the degradation
@@ -12,19 +12,37 @@ read: an entry that rotted at rest (bit-flip, partial write outside the
 atomic rename path, manual tampering) is **evicted and recomputed**,
 never served — the same never-silently-wrong contract the ABFT layer
 gives in-flight data.  Writes go through a temp file + ``os.replace``
-so a crash can leave at most a stray temp file, never a half-written
-entry at the final path.
+(via :class:`~repro.service.storage.ServiceStorage`, so injected disk
+faults and simulated crashes strike them) so a crash can leave at most
+a stray temp file, never a half-written entry at the final path.
+
+With ``max_bytes`` set the cache is an **LRU under a byte budget**:
+
+* every put/get refreshes the entry's recency; on restart the order is
+  rebuilt from file mtimes (approximate recency is fine — eviction
+  only affects *cost*, never correctness, because every entry is
+  recomputable from its journal record);
+* :meth:`pin`/:meth:`unpin` protect entries eviction must not touch —
+  the daemon pins a key while its job is in flight or its ``done``
+  record still needs the bytes for recovery verification;
+* eviction deletes least-recently-used **unpinned** entries until the
+  budget holds, and doubles as the ``ENOSPC`` reclaim path: a put that
+  hits a full disk evicts and retries once before raising the typed
+  :class:`~repro.errors.StorageFullError`.
 """
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import json
 import os
 
 import numpy as np
 
+from ..errors import StorageFullError
 from ..observability.registry import NULL_REGISTRY
+from .storage import ServiceStorage
 
 __all__ = ["RESULT_SCHEMA", "ResultCache", "result_key"]
 
@@ -64,12 +82,43 @@ def result_key(graph_digest: str, strategy: str, roots, seed: int,
 
 
 class ResultCache:
-    """Directory of checksummed ``repro.result/v1`` entries."""
+    """Directory of checksummed ``repro.result/v1`` entries.
 
-    def __init__(self, root, metrics=None):
+    ``max_bytes=None`` (default) disables the budget — the cache only
+    grows, exactly the original behaviour.
+    """
+
+    def __init__(self, root, metrics=None, storage=None,
+                 max_bytes: int | None = None):
         self.root = str(root)
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self.storage = storage if storage is not None else ServiceStorage()
+        self.max_bytes = None if max_bytes is None else int(max_bytes)
         os.makedirs(self.root, exist_ok=True)
+        self._pinned: set = set()
+        # key -> bytes, in recency order (oldest first).  Python dicts
+        # preserve insertion order; refreshing = delete + reinsert.
+        self._sizes: dict = {}
+        self._scan()
+
+    def _scan(self) -> None:
+        """Rebuild sizes + approximate recency (mtime) after restart."""
+        found = []
+        for fan in sorted(os.listdir(self.root)):
+            sub = os.path.join(self.root, fan)
+            if not os.path.isdir(sub):
+                continue
+            for name in sorted(os.listdir(sub)):
+                if not name.endswith(".json"):
+                    continue
+                full = os.path.join(sub, name)
+                try:
+                    st = os.stat(full)
+                except OSError:
+                    continue
+                found.append((st.st_mtime, name[:-5], st.st_size))
+        for _mtime, key, size in sorted(found):
+            self._sizes[key] = size
 
     def path(self, key: str) -> str:
         """Entry path; two-char fan-out keeps directories small."""
@@ -79,12 +128,68 @@ class ResultCache:
     def _checksum(body: dict) -> str:
         return hashlib.sha256(_canonical(body).encode("utf-8")).hexdigest()
 
+    # -- budget accounting ---------------------------------------------
+    @property
+    def total_bytes(self) -> int:
+        """Bytes currently accounted to cache entries."""
+        return sum(self._sizes.values())
+
+    def __len__(self) -> int:
+        return len(self._sizes)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._sizes
+
+    def _touch(self, key: str) -> None:
+        if key in self._sizes:
+            self._sizes[key] = self._sizes.pop(key)
+
+    def pin(self, key: str) -> None:
+        """Protect ``key`` from eviction (in-flight / recovery-needed)."""
+        self._pinned.add(str(key))
+
+    def unpin(self, key: str) -> None:
+        self._pinned.discard(str(key))
+
+    @property
+    def pinned(self) -> frozenset:
+        return frozenset(self._pinned)
+
+    def evict_lru(self, want_free: int | None = None) -> int:
+        """Delete least-recently-used unpinned entries; returns bytes
+        freed.
+
+        With ``want_free`` set, frees at least that many bytes (or
+        every unpinned entry trying); otherwise frees until the byte
+        budget holds.  Deletions go through the storage layer so the
+        crash grid can kill the process mid-evict — a half-finished
+        eviction just leaves fewer entries, all of them still intact.
+        """
+        freed = 0
+        for key in list(self._sizes):
+            if want_free is not None:
+                if freed >= want_free:
+                    break
+            elif self.max_bytes is None or self.total_bytes <= self.max_bytes:
+                break
+            if key in self._pinned:
+                continue
+            size = self._sizes[key]
+            self.storage.remove(self.path(key), "cache")
+            del self._sizes[key]
+            freed += size
+            self.metrics.inc("service.cache.evicted", reason="budget")
+        return freed
+
+    # -- entries -------------------------------------------------------
     def put(self, key: str, values: np.ndarray, meta: dict) -> str:
         """Atomically materialise one result; returns its path.
 
         Writing the same key again (crash-recovery recomputation) is a
         no-op overwrite with identical bytes — exactly-once semantics by
-        content addressing rather than by locking.
+        content addressing rather than by locking.  On ``ENOSPC`` the
+        cache evicts LRU unpinned entries and retries once, then raises
+        :class:`StorageFullError` with nothing half-written.
         """
         body = {
             "schema": RESULT_SCHEMA,
@@ -94,23 +199,37 @@ class ResultCache:
         }
         doc = dict(body)
         doc["checksum"] = self._checksum(body)
+        text = _canonical(doc) + "\n"
         path = self.path(key)
         os.makedirs(os.path.dirname(path), exist_ok=True)
-        tmp = path + ".tmp"
-        with open(tmp, "w", encoding="utf-8") as fh:
-            fh.write(_canonical(doc) + "\n")
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, path)
+        try:
+            self.storage.replace_atomic(path, text, "cache")
+        except OSError as exc:
+            if exc.errno != errno.ENOSPC:
+                raise
+            self.metrics.inc("service.cache.enospc")
+            self.evict_lru(want_free=len(text.encode("utf-8")))
+            try:
+                self.storage.replace_atomic(path, text, "cache")
+            except OSError as exc2:
+                if exc2.errno != errno.ENOSPC:
+                    raise
+                raise StorageFullError(path, "cache put",
+                                       attempts=2) from exc2
+        if key in self._sizes:
+            del self._sizes[key]
+        self._sizes[key] = len(text.encode("utf-8"))
         self.metrics.inc("service.cache.writes")
+        if self.max_bytes is not None:
+            self.evict_lru()
         return path
 
     def get(self, key: str):
         """Verified read: ``(values, meta)`` or ``None``.
 
-        ``None`` means *recompute* — either the entry does not exist or
-        it failed verification and was evicted (counted under
-        ``service.cache.corrupt_evicted``).
+        ``None`` means *recompute* — the entry does not exist, was
+        evicted under the byte budget, or failed verification and was
+        evicted (counted under ``service.cache.corrupt_evicted``).
         """
         path = self.path(key)
         try:
@@ -118,14 +237,18 @@ class ResultCache:
                 doc = json.load(fh)
         except FileNotFoundError:
             self.metrics.inc("service.cache.misses")
+            self._sizes.pop(key, None)
             return None
-        except (OSError, json.JSONDecodeError):
-            self._evict(path, "unreadable")
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            # UnicodeDecodeError: a flipped bit can land mid-multibyte
+            # sequence, so the blob dies before JSON even sees it.
+            self._evict(key, "unreadable")
             return None
         if not self._intact(doc, key):
-            self._evict(path, "checksum")
+            self._evict(key, "checksum")
             return None
         values = np.asarray(doc["values"], dtype=np.float64)
+        self._touch(key)
         self.metrics.inc("service.cache.hits")
         return values, dict(doc["meta"])
 
@@ -135,7 +258,7 @@ class ResultCache:
         try:
             with open(path, "r", encoding="utf-8") as fh:
                 doc = json.load(fh)
-        except (OSError, json.JSONDecodeError):
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
             return False
         return self._intact(doc, key)
 
@@ -150,9 +273,10 @@ class ResultCache:
         except (TypeError, ValueError):
             return False
 
-    def _evict(self, path: str, reason: str) -> None:
+    def _evict(self, key: str, reason: str) -> None:
         try:
-            os.remove(path)
+            os.remove(self.path(key))
         except OSError:
             pass
+        self._sizes.pop(key, None)
         self.metrics.inc("service.cache.corrupt_evicted", reason=reason)

@@ -43,6 +43,7 @@ from ..errors import (
     JobNotFoundError,
     JobSpecError,
     ServiceOverloadError,
+    StorageFullError,
 )
 from ..graph.generators import make_dataset
 from ..observability.registry import NULL_REGISTRY
@@ -60,22 +61,51 @@ from .jobs import (
 )
 from .journal import JobJournal, replay_state
 from .scheduler import Scheduler, sample_roots
+from .storage import ServiceStorage
 
 __all__ = ["BCService"]
 
 
 class BCService:
-    """One service instance rooted at a directory (see module docs)."""
+    """One service instance rooted at a directory (see module docs).
+
+    Storage-hardening knobs (all optional, defaults = unbounded and
+    healthy, the original behaviour):
+
+    ``storage``
+        A :class:`~repro.service.storage.ServiceStorage` every durable
+        write routes through — the soak harness hands one wired with
+        injected disk faults and/or a ``crash_after`` op counter.
+    ``journal_max_segment_bytes`` / ``journal_keep_terminal``
+        Journal rotation + compaction budget (see
+        :class:`~repro.service.journal.JobJournal`).
+    ``cache_max_bytes``
+        LRU byte budget for the result cache; in-flight entries are
+        pinned, evicted ones are recomputed on demand.
+    """
 
     def __init__(self, root, *, policy: AdmissionPolicy | None = None,
-                 scheduler: Scheduler | None = None, metrics=None):
+                 scheduler: Scheduler | None = None, metrics=None,
+                 storage: ServiceStorage | None = None,
+                 journal_max_segment_bytes: int | None = None,
+                 journal_keep_terminal: int = 8,
+                 cache_max_bytes: int | None = None):
         self.root = str(root)
         os.makedirs(self.root, exist_ok=True)
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self.storage = (storage if storage is not None
+                        else ServiceStorage(metrics=self.metrics))
         self.journal = JobJournal(os.path.join(self.root, "journal.jsonl"),
-                                  metrics=self.metrics)
+                                  metrics=self.metrics, storage=self.storage,
+                                  max_segment_bytes=journal_max_segment_bytes,
+                                  keep_terminal=journal_keep_terminal)
         self.cache = ResultCache(os.path.join(self.root, "results"),
-                                 metrics=self.metrics)
+                                 metrics=self.metrics, storage=self.storage,
+                                 max_bytes=cache_max_bytes)
+        # Journal ENOSPC reclaim may also free cache space (eviction
+        # deletes, so it works even when no write can).
+        self.journal.on_reclaim = lambda: self.cache.evict_lru(
+            want_free=max(4096, self.cache.total_bytes // 2))
         self.spool_dir = os.path.join(self.root, "spool")
         os.makedirs(self.spool_dir, exist_ok=True)
         self.admission = AdmissionController(policy, metrics=self.metrics)
@@ -94,11 +124,26 @@ class BCService:
         if self.recovered_ids:
             self.metrics.inc("service.jobs_recovered",
                              float(len(self.recovered_ids)))
+            # Make the recovery requeue explicit in the journal: the
+            # prior process died after `start`, so without this record
+            # the re-run's own `start` would read as an illegal
+            # running->running transition on the *next* replay.
+            for job_id in self.recovered_ids:
+                self.journal.append("requeue", job_id=job_id,
+                                    reason="recovered")
         self._graphs: dict = {}
         self._fold_digests: dict = {}
         self._next_id = 1 + max(
             (int(j[1:]) for j in self.jobs if j.startswith("j")
              and j[1:].isdigit()), default=0)
+        # Content-hash dedupe index (submit idempotency): latest job id
+        # per content key, rebuilt from the replayed journal so retried
+        # submits after a crash still land on the original job.
+        self._by_content: dict = {}
+        for job in sorted(self.jobs.values(), key=lambda j: j.submit_seq):
+            self._by_content[job.spec.content_key()] = job.job_id
+        #: Storage-full requeues per job (bounded; then the job fails).
+        self._storage_requeues: dict = {}
 
     # -- infrastructure ------------------------------------------------
     def _journal_breaker(self, key, state, failures) -> None:
@@ -137,20 +182,50 @@ class BCService:
                    if j.spec.tenant == tenant
                    and j.state in (PENDING, RUNNING))
 
+    #: States under which a content-identical resubmit is folded into
+    #: the existing job rather than enqueued again.  Terminal failures
+    #: (FAILED/CANCELLED/SHED) do *not* dedupe — resubmitting is the
+    #: client's way of asking for another attempt.
+    _DEDUPE_STATES = (PENDING, RUNNING, DONE)
+
     # -- client surface ------------------------------------------------
     def submit(self, spec) -> JobRecord:
         """Admit one job (or shed it with ``ServiceOverloadError``).
 
         Returns the queued :class:`JobRecord`; its ``submit`` journal
         record is durable before this method returns.
+
+        **Idempotency.**  A submission whose
+        :meth:`~repro.service.jobs.JobSpec.content_key` matches a job
+        that is pending, running, or done returns that existing record
+        — no new journal record, no second execution — so a client
+        retrying a lost ack can never duplicate work.  Reusing a job id
+        for *different* content is still an error.
         """
         if isinstance(spec, dict):
             spec = JobSpec.from_dict(spec)
+        ck = spec.content_key()
+        if spec.job_id and spec.job_id in self.jobs:
+            existing = self.jobs[spec.job_id]
+            if existing.spec.content_key() != ck:
+                raise JobSpecError(f"duplicate job id {spec.job_id!r}")
+            if existing.state in self._DEDUPE_STATES:
+                self.metrics.inc("service.deduped", by="job-id")
+                return existing
+            # Identical content whose prior run ended in a terminal
+            # failure (failed/cancelled/shed): resubmission is the
+            # client asking for another attempt.  Fall through to
+            # admission under the same id — replay honours the later
+            # submit record.
+        prior_id = self._by_content.get(ck)
+        if prior_id is not None:
+            prior = self.jobs.get(prior_id)
+            if prior is not None and prior.state in self._DEDUPE_STATES:
+                self.metrics.inc("service.deduped", by="content")
+                return prior
         if not spec.job_id:
             spec = spec.with_id(f"j{self._next_id:06d}")
             self._next_id += 1
-        if spec.job_id in self.jobs:
-            raise JobSpecError(f"duplicate job id {spec.job_id!r}")
         try:
             mode = self.admission.decide(spec, len(self.queue),
                                          self._tenant_live(spec.tenant))
@@ -167,6 +242,7 @@ class BCService:
         job = JobRecord(spec=spec, state=PENDING, submit_seq=rec["seq"],
                         admit_degraded=(mode == "degrade"))
         self.jobs[spec.job_id] = job
+        self._by_content[ck] = spec.job_id
         self.queue.append(spec.job_id)
         return job
 
@@ -262,8 +338,12 @@ class BCService:
                 "device": job.device, "attempts": int(job.attempt),
                 "sim_seconds": float(job.sim_seconds),
                 "samples": job.samples}
-        self.cache.put(job.result_key, values, meta)
-        return self.cache.get(job.result_key)
+        self.cache.pin(job.result_key)
+        try:
+            self.cache.put(job.result_key, values, meta)
+            return self.cache.get(job.result_key)
+        finally:
+            self.cache.unpin(job.result_key)
 
     # -- execution -----------------------------------------------------
     def _candidate_keys(self, job: JobRecord, g, roots) -> list:
@@ -346,20 +426,32 @@ class BCService:
                              degraded=outcome.degraded_reason,
                              fold_digest=self._fold_digest(g, spec))
             # Materialise BEFORE acknowledging: the `done` record must
-            # never point at a result that might not exist.
-            self.cache.put(key, outcome.values, {
-                "job_id": spec.job_id, "exact": outcome.exact,
-                "degraded_reason": outcome.degraded_reason,
-                "device": outcome.device, "attempts": outcome.attempts,
-                "sim_seconds": outcome.sim_seconds,
-                "samples": outcome.samples})
-            job.attempt = outcome.attempts
-            job.device = outcome.device
-            self._finish_done(job, key, exact=outcome.exact,
-                              degraded_reason=outcome.degraded_reason,
-                              device=outcome.device,
-                              sim_seconds=outcome.sim_seconds,
-                              samples=outcome.samples)
+            # never point at a result that might not exist.  The key is
+            # pinned across the put→done window so eviction (budget or
+            # ENOSPC reclaim — including the reclaim triggered by the
+            # `done` append itself) can't delete the bytes the pending
+            # acknowledgement is about to promise.
+            self.cache.pin(key)
+            try:
+                self.cache.put(key, outcome.values, {
+                    "job_id": spec.job_id, "exact": outcome.exact,
+                    "degraded_reason": outcome.degraded_reason,
+                    "device": outcome.device, "attempts": outcome.attempts,
+                    "sim_seconds": outcome.sim_seconds,
+                    "samples": outcome.samples})
+            except StorageFullError as exc:
+                self.cache.unpin(key)
+                return self._storage_full_requeue(job, outcome.attempts, exc)
+            try:
+                job.attempt = outcome.attempts
+                job.device = outcome.device
+                self._finish_done(job, key, exact=outcome.exact,
+                                  degraded_reason=outcome.degraded_reason,
+                                  device=outcome.device,
+                                  sim_seconds=outcome.sim_seconds,
+                                  samples=outcome.samples)
+            finally:
+                self.cache.unpin(key)
         else:
             self.journal.append("fail", job_id=spec.job_id,
                                 error=outcome.error,
@@ -369,6 +461,35 @@ class BCService:
             job.error = outcome.error
             self.metrics.inc("service.jobs_failed",
                              kind=outcome.error_kind or "error")
+        return job
+
+    def _storage_full_requeue(self, job: JobRecord, attempts: int,
+                              exc) -> JobRecord:
+        """The disk stayed full through reclaim: park the job instead
+        of losing its work, fail it after repeated strikes.
+
+        The requeue is journalled when the journal can still take a
+        record (its appends have their own reclaim path); if even that
+        fails the job stays RUNNING in the journal and crash recovery
+        requeues it — the same convergence, one restart later."""
+        spec = job.spec
+        strikes = self._storage_requeues.get(spec.job_id, 0) + 1
+        self._storage_requeues[spec.job_id] = strikes
+        self.metrics.inc("service.storage_full_requeues")
+        if strikes > 3:
+            self.journal.append("fail", job_id=spec.job_id,
+                                error=str(exc), error_kind="storage-full")
+            job.state = FAILED
+            job.attempt = max(job.attempt, attempts)
+            job.error = str(exc)
+            self.metrics.inc("service.jobs_failed", kind="storage-full")
+            return job
+        self.journal.append("requeue", job_id=spec.job_id,
+                            attempt=attempts, delay=0.0,
+                            reason="storage-full")
+        job.state = PENDING
+        job.attempt = max(job.attempt, attempts)
+        self.queue.append(spec.job_id)
         return job
 
     def _finish_done(self, job: JobRecord, key: str, *, exact: bool,
@@ -437,7 +558,36 @@ class BCService:
                 # Already journalled (shed) or inherently a client error;
                 # the client sees it via `status`.
                 pass
+            except StorageFullError:
+                # The ticket is consumed but nothing was journalled —
+                # the client's poll finds the job unknown and its
+                # idempotent (content-derived) job id makes the
+                # resubmit safe.
+                self.metrics.inc("service.spool.storage_full")
         return taken
+
+    # -- accounting ----------------------------------------------------
+    def spool_bytes(self) -> int:
+        total = 0
+        try:
+            for name in os.listdir(self.spool_dir):
+                try:
+                    total += os.path.getsize(
+                        os.path.join(self.spool_dir, name))
+                except OSError:
+                    pass
+        except FileNotFoundError:
+            pass
+        return total
+
+    def disk_usage(self) -> dict:
+        """Bytes on disk per component (the soak harness's budget
+        invariant reads this)."""
+        return {
+            "journal": self.journal.total_bytes(),
+            "cache": self.cache.total_bytes,
+            "spool": self.spool_bytes(),
+        }
 
     # -- lifecycle -----------------------------------------------------
     def drain(self) -> int:
@@ -449,6 +599,14 @@ class BCService:
 
     def close(self) -> None:
         self.journal.close()
+
+    def abandon(self) -> None:
+        """Walk away without drain or close — the in-process equivalent
+        of the process dying.  The instance must not be used again; the
+        next :class:`BCService` on the same root recovers from the
+        journal exactly as it would after SIGKILL."""
+        self._stop = True
+        self.journal._closed = True
 
     def __enter__(self):
         return self

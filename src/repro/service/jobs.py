@@ -149,6 +149,24 @@ class JobSpec:
     def with_id(self, job_id: str) -> "JobSpec":
         return replace(self, job_id=str(job_id))
 
+    def content_key(self) -> str:
+        """SHA-256 of the fields that determine what the job *computes*.
+
+        Excludes ``job_id`` (an alias, not a determinant) and ``tenant``
+        (a billing label).  Two submissions with equal content keys
+        would run the identical query and materialise the identical
+        result bytes — which is why admission dedupes on this key and
+        the client derives idempotent job ids from it: a retried submit
+        can never enqueue the same work twice.
+        """
+        import hashlib
+        import json
+
+        payload = {k: v for k, v in self.to_dict().items()
+                   if k not in ("job_id", "tenant")}
+        body = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(body.encode("utf-8")).hexdigest()
+
     def to_dict(self) -> dict:
         return {
             "job_id": self.job_id,

@@ -1,26 +1,66 @@
-"""Durable job journal: an append-only, checksummed write-ahead log.
+"""Durable job journal: a segmented, checksummed write-ahead log.
 
 Format (``repro.job/v1``) — one record per line::
 
     <crc32 hex, 8 chars> <canonical single-line JSON body>\\n
 
 The body always carries ``kind`` (record type) and ``seq`` (strictly
-increasing).  Appends are flushed **and fsynced** before the caller
-proceeds, so a record returned from :meth:`JobJournal.append` survives
-``kill -9`` of the daemon and the journal is the single source of truth
-for job state: ``status`` reads it, recovery replays it, and the CI
-smoke job uploads it as an artifact.
+increasing **across every file** of the journal).  Appends are flushed
+and fsynced before the caller proceeds, so a record returned from
+:meth:`JobJournal.append` survives ``kill -9`` of the daemon and the
+journal is the single source of truth for job state: ``status`` reads
+it, recovery replays it, and the CI smoke job uploads it as an
+artifact.
+
+Disk layout (all next to each other; ``journal.jsonl`` is the path the
+daemon is given)::
+
+    journal.jsonl                     active segment (append target)
+    journal-<firstseq:08d>.jsonl      sealed segments (read-only)
+    journal-<through:08d>.compact.jsonl   compaction output
+
+* **Rotation** seals the active segment by atomically renaming it to
+  ``journal-<first seq it holds>.jsonl`` — the next append recreates a
+  fresh active file.  A crash between the two steps is recoverable:
+  opening with no active file just starts a new one.
+* **Compaction** folds the sealed segments (and any previous compact
+  output) into one ``.compact`` file named by the highest sequence
+  number it *covers* — not necessarily one it contains, since covered
+  records may have been dropped.  On read, the compact file with the
+  largest ``through`` wins; sealed segments whose first seq is within
+  its coverage are superseded (crash debris from an interrupted
+  cleanup) and deleted at next open.  Compaction only ever **drops**
+  records, never rewrites them, and preserves original seqs, so replay
+  after compaction is replay of a sub-history:
+
+  - terminal jobs wholly inside the sealed range are slimmed to a
+    minimal legal chain (``submit`` + last ``start`` + terminal record)
+    and, beyond the ``keep_terminal`` most recent, garbage-collected
+    entirely;
+  - jobs that are live — or have *any* record newer than the sealed
+    range — keep every sealed record, so no replay transition is ever
+    made illegal by compaction;
+  - only the last ``breaker`` record per (graph, strategy) survives,
+    and ``open`` markers are dropped.
+
+* **Reclaim** is the ``ENOSPC`` path: rotate, compact with
+  ``keep_terminal=0``, run the owner's ``on_reclaim`` hook (the daemon
+  wires cache eviction here), retry the append once — and only then
+  raise a typed :class:`~repro.errors.StorageFullError`, with the
+  journal exactly as it was before the failed append.
 
 Crash semantics on read:
 
-* A corrupt or incomplete **last** line is a *torn write* — exactly what
-  a SIGKILL mid-``write(2)`` leaves behind.  It is dropped, reported via
-  ``torn_tail``, and truncated away when the journal is reopened for
-  appending (the record was never acknowledged, so dropping it loses
-  nothing).
-* A corrupt line anywhere **else** raises
-  :class:`~repro.errors.JournalCorruptionError`: the file was damaged at
-  rest and recovery must not guess around the hole.
+* A corrupt or incomplete **last** line of the **active** segment is a
+  *torn write* — exactly what a SIGKILL mid-``write(2)`` leaves
+  behind.  It is dropped, reported via ``torn_tail``, and truncated
+  away when the journal is reopened for appending (the record was
+  never acknowledged, so dropping it loses nothing).
+* A corrupt line anywhere else — interior of any file, or *any* line
+  of a sealed/compact file — raises
+  :class:`~repro.errors.JournalCorruptionError`: the file was damaged
+  at rest and recovery must not guess around the hole.
+  ``repro service journal verify`` classifies the two cases offline.
 
 :func:`replay_state` folds a record list into per-job
 :class:`~repro.service.jobs.JobRecord` state: jobs found ``RUNNING``
@@ -32,11 +72,13 @@ crash-free run reaches.
 
 from __future__ import annotations
 
+import errno
 import json
 import os
+import re
 import zlib
 
-from ..errors import JournalCorruptionError
+from ..errors import JournalCorruptionError, StorageFullError
 from ..observability.registry import NULL_REGISTRY
 from .jobs import (
     CANCELLED,
@@ -49,15 +91,20 @@ from .jobs import (
     JobSpec,
     legal_transition,
 )
+from .storage import ServiceStorage
 
 __all__ = [
     "JOURNAL_SCHEMA",
     "RECORD_KINDS",
+    "TERMINAL_STATES",
     "JobJournal",
     "ReplayedState",
     "encode_record",
     "decode_line",
     "read_journal",
+    "journal_inventory",
+    "read_journal_chain",
+    "verify_journal",
     "replay_state",
 ]
 
@@ -68,6 +115,10 @@ JOURNAL_SCHEMA = "repro.job/v1"
 #: quarantined (graph, strategy) pair stays quarantined across restarts.
 RECORD_KINDS = ("open", "submit", "start", "requeue", "done", "fail",
                 "cancel", "shed", "breaker")
+
+#: Job states compaction may garbage-collect (nothing further can
+#: happen to these jobs).
+TERMINAL_STATES = (DONE, FAILED, CANCELLED, SHED)
 
 
 def encode_record(record: dict) -> str:
@@ -106,11 +157,13 @@ def decode_line(line: str) -> dict:
 
 
 def read_journal(path):
-    """Read every intact record; returns ``(records, torn_tail)``.
+    """Read every intact record of **one** journal file; returns
+    ``(records, torn_tail)``.
 
     A corrupt tail line is dropped (``torn_tail=True``); corruption
     before the tail raises :class:`JournalCorruptionError`.  A missing
-    file reads as empty.
+    file reads as empty.  For the full multi-segment history use
+    :func:`read_journal_chain`.
     """
     if not os.path.exists(path):
         return [], False
@@ -127,56 +180,464 @@ def read_journal(path):
     return records, False
 
 
-class JobJournal:
-    """Append-side handle on one journal file.
+# ----------------------------------------------------------------------
+# Segment layout
+# ----------------------------------------------------------------------
 
-    Opening replays the existing file (validating it), truncates a torn
-    tail, and appends an ``open`` record — so every daemon start is
-    itself journalled and the sequence counter continues from the last
-    durable record.
+def _stem(path: str) -> str:
+    base = os.path.basename(str(path))
+    return base[:-6] if base.endswith(".jsonl") else base
+
+
+def journal_inventory(path) -> dict:
+    """Enumerate every file of the journal rooted at ``path``.
+
+    Returns ``{"active", "segments", "compacts", "through",
+    "superseded", "strays"}`` where ``segments`` is ``[(first_seq,
+    path)]`` sorted, ``compacts`` is ``[(through, path)]`` sorted,
+    ``through`` is the best compact's coverage (0 if none), and
+    ``superseded``/``strays`` are crash debris a clean open deletes
+    (segments covered by the best compact, older compacts, ``.tmp``
+    files).
+    """
+    path = str(path)
+    parent = os.path.dirname(path) or "."
+    stem = _stem(path)
+    seg_re = re.compile(re.escape(stem) + r"-(\d{8})\.jsonl$")
+    com_re = re.compile(re.escape(stem) + r"-(\d{8})\.compact\.jsonl$")
+    segments, compacts, strays = [], [], []
+    if os.path.isdir(parent):
+        for name in sorted(os.listdir(parent)):
+            full = os.path.join(parent, name)
+            if name.endswith(".tmp") and name.startswith(stem):
+                strays.append(full)
+                continue
+            m = com_re.match(name)
+            if m:
+                compacts.append((int(m.group(1)), full))
+                continue
+            m = seg_re.match(name)
+            if m:
+                segments.append((int(m.group(1)), full))
+    segments.sort()
+    compacts.sort()
+    through = compacts[-1][0] if compacts else 0
+    superseded = [p for _, p in compacts[:-1]]
+    superseded += [p for first, p in segments if first <= through]
+    return {
+        "active": path,
+        "segments": segments,
+        "compacts": compacts,
+        "through": through,
+        "superseded": superseded,
+        "strays": strays,
+    }
+
+
+def _chain_files(inv: dict) -> list:
+    """The ``(role, path)`` list whose concatenation is the history."""
+    files = []
+    if inv["compacts"]:
+        files.append(("compact", inv["compacts"][-1][1]))
+    files += [("segment", p) for first, p in inv["segments"]
+              if first > inv["through"]]
+    files.append(("active", inv["active"]))
+    return files
+
+
+def read_journal_chain(path):
+    """Read the full multi-segment history; returns ``(records,
+    torn_tail)``.
+
+    Concatenates best compact + uncovered sealed segments + active.  A
+    torn tail is only tolerated on the active segment; any damage to a
+    sealed or compact file raises :class:`JournalCorruptionError`.
+    """
+    inv = journal_inventory(path)
+    records, torn = [], False
+    for role, fpath in _chain_files(inv):
+        recs, file_torn = read_journal(fpath)
+        if file_torn and role != "active":
+            raise JournalCorruptionError(
+                fpath, len(recs) + 1,
+                f"torn tail in sealed {role} file (only the active "
+                f"segment may be torn)")
+        records += recs
+        torn = torn or file_torn
+    return records, torn
+
+
+def verify_journal(path) -> dict:
+    """Offline integrity scan of every journal file (never mutates).
+
+    Returns a report dict: ``files`` (one entry per file with
+    ``role``/``records``/``first_seq``/``last_seq``/``bytes``/
+    ``status`` of ``ok``|``torn-tail``|``corrupt`` and a one-line
+    ``error``), ``problems`` (fatal findings), ``notes`` (benign crash
+    debris), and ``ok``.  A torn tail on the active segment is a note —
+    it is what SIGKILL mid-append leaves and the next open truncates
+    it; the same damage anywhere else, or an interior checksum
+    mismatch, is classified as at-rest corruption and fails the scan.
+    """
+    inv = journal_inventory(path)
+    report = {"root": os.path.dirname(str(path)) or ".", "files": [],
+              "problems": [], "notes": [], "ok": True, "total_records": 0}
+    last_seq = 0
+    for role, fpath in _chain_files(inv):
+        entry = {"path": fpath, "role": role, "records": 0,
+                 "first_seq": None, "last_seq": None, "bytes": 0,
+                 "status": "ok", "error": None}
+        if not os.path.exists(fpath):
+            if role == "active":
+                entry["status"] = "missing"
+                entry["error"] = "no active segment (fresh after rotation)"
+                report["files"].append(entry)
+            continue
+        entry["bytes"] = os.path.getsize(fpath)
+        with open(fpath, "r", encoding="utf-8", newline="") as fh:
+            lines = fh.readlines()
+        for i, line in enumerate(lines):
+            try:
+                record = decode_line(line)
+            except ValueError as exc:
+                if i == len(lines) - 1 and role == "active":
+                    entry["status"] = "torn-tail"
+                    entry["error"] = (f"line {i + 1}: {exc} — crash "
+                                      f"debris; truncated at next open")
+                    report["notes"].append(
+                        f"{fpath}: torn tail at line {i + 1} (safe)")
+                else:
+                    entry["status"] = "corrupt"
+                    entry["error"] = (f"line {i + 1}: {exc} — at-rest "
+                                      f"corruption; recovery will not "
+                                      f"guess, restore this file")
+                    report["problems"].append(
+                        f"{fpath}:{i + 1}: {exc}")
+                break
+            seq = int(record.get("seq", 0))
+            if entry["first_seq"] is None:
+                entry["first_seq"] = seq
+            if seq <= last_seq:
+                entry["status"] = "corrupt"
+                entry["error"] = (f"line {i + 1}: seq {seq} not above "
+                                  f"previous {last_seq} — mixed or "
+                                  f"rewound history")
+                report["problems"].append(
+                    f"{fpath}:{i + 1}: non-monotonic seq {seq}")
+                break
+            last_seq = seq
+            entry["last_seq"] = seq
+            entry["records"] += 1
+        report["total_records"] += entry["records"]
+        report["files"].append(entry)
+    for p in inv["superseded"]:
+        report["notes"].append(f"{p}: superseded by newer compact (crash "
+                               f"debris; deleted at next open)")
+    for p in inv["strays"]:
+        report["notes"].append(f"{p}: stray temp file (deleted at next open)")
+    report["ok"] = not report["problems"]
+    return report
+
+
+class JobJournal:
+    """Append-side handle on one (possibly segmented) journal.
+
+    Opening replays the existing history (validating it), deletes
+    crash debris from interrupted rotations/compactions, truncates a
+    torn tail on the active segment, and appends an ``open`` record —
+    so every daemon start is itself journalled and the sequence counter
+    continues from the last durable record.
+
+    ``max_segment_bytes=None`` (the default) disables rotation — the
+    journal behaves exactly like the original single-file log.  With a
+    budget set, every append that leaves the active segment over the
+    limit rotates and compacts, so total disk stays bounded as terminal
+    jobs age out.
     """
 
-    def __init__(self, path, metrics=None):
+    def __init__(self, path, metrics=None, storage=None,
+                 max_segment_bytes: int | None = None,
+                 keep_terminal: int = 8, on_reclaim=None):
         self.path = str(path)
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self.storage = storage if storage is not None else ServiceStorage()
+        self.max_segment_bytes = (None if max_segment_bytes is None
+                                  else int(max_segment_bytes))
+        self.keep_terminal = int(keep_terminal)
+        #: Called during :meth:`reclaim` so the owner can free space
+        #: outside the journal (the daemon hooks cache eviction here).
+        self.on_reclaim = on_reclaim
         parent = os.path.dirname(self.path)
         if parent:
             os.makedirs(parent, exist_ok=True)
-        self.records, torn = read_journal(self.path)
-        self.torn_tail_truncated = torn
-        if torn:
-            # Drop the unacknowledged torn record so the next append
-            # starts on a clean line boundary.
-            good = "".join(encode_record(r) for r in self.records)
-            with open(self.path, "w", encoding="utf-8", newline="") as fh:
-                fh.write(good)
-                fh.flush()
-                os.fsync(fh.fileno())
-            self.metrics.inc("service.journal.torn_tail_truncated")
+        self._closed = False
+
+        # Clean up crash debris from an interrupted rotate/compact and
+        # validate + load the full history.
+        inv = journal_inventory(self.path)
+        for stray in inv["superseded"] + inv["strays"]:
+            try:
+                os.remove(stray)
+            except OSError:
+                pass
+        self.records = []
+        self._active_records = 0
+        self.torn_tail_truncated = False
+        for role, fpath in _chain_files(inv):
+            recs, torn = read_journal(fpath)
+            if torn and role != "active":
+                raise JournalCorruptionError(
+                    fpath, len(recs) + 1,
+                    f"torn tail in sealed {role} file (only the active "
+                    f"segment may be torn)")
+            self.records += recs
+            if role == "active":
+                self._active_records = len(recs)
+                if torn:
+                    self._truncate_torn(fpath, recs)
+                    self.torn_tail_truncated = True
+                    self.metrics.inc("service.journal.torn_tail_truncated")
         self._seq = max((r.get("seq", 0) for r in self.records), default=0)
-        self._fh = open(self.path, "a", encoding="utf-8", newline="")
+        self._seq = max(self._seq, inv["through"])
+        self._active_first_seq = (
+            self.records[-self._active_records]["seq"]
+            if self._active_records else None)
         self.append("open", schema=JOURNAL_SCHEMA)
+
+    @staticmethod
+    def _truncate_torn(path: str, good_records: list) -> None:
+        """Drop the unacknowledged torn record so the next append
+        starts on a clean line boundary.  The good lines are kept
+        byte-for-byte (a truncate, not a rewrite — this must succeed
+        even on a full disk)."""
+        good_bytes = sum(
+            len(encode_record(r).encode("utf-8")) for r in good_records)
+        with open(path, "r+b") as fh:
+            fh.truncate(good_bytes)
+            fh.flush()
+            os.fsync(fh.fileno())
 
     @property
     def next_seq(self) -> int:
         return self._seq + 1
 
     def append(self, kind: str, **fields) -> dict:
-        """Durably append one record; returns it (with its ``seq``)."""
+        """Durably append one record; returns it (with its ``seq``).
+
+        On ``ENOSPC`` the journal reclaims space (rotate + aggressive
+        compact + the owner's ``on_reclaim`` hook) and retries once;
+        if the disk is still full it raises
+        :class:`~repro.errors.StorageFullError` with nothing appended.
+        """
         if kind not in RECORD_KINDS:
             raise ValueError(f"unknown journal record kind {kind!r}")
+        if self._closed:
+            raise ValueError("journal is closed")
+        record = {"kind": kind, "seq": self._seq + 1, **fields}
+        line = encode_record(record)
+        try:
+            self.storage.append_line(self.path, line, "journal")
+        except OSError as exc:
+            if exc.errno != errno.ENOSPC:
+                raise
+            self.metrics.inc("service.journal.enospc")
+            self.reclaim()
+            try:
+                self.storage.append_line(self.path, line, "journal")
+            except OSError as exc2:
+                if exc2.errno != errno.ENOSPC:
+                    raise
+                raise StorageFullError(self.path, f"append {kind!r}",
+                                       attempts=2) from exc2
         self._seq += 1
-        record = {"kind": kind, "seq": self._seq, **fields}
-        self._fh.write(encode_record(record))
-        self._fh.flush()
-        os.fsync(self._fh.fileno())
         self.records.append(record)
+        self._active_records += 1
+        if self._active_first_seq is None:
+            self._active_first_seq = record["seq"]
         self.metrics.inc("service.journal.records", kind=kind)
+        if (self.max_segment_bytes is not None
+                and os.path.getsize(self.path) >= self.max_segment_bytes):
+            # Opportunistic: the record above is already durable, so a
+            # full disk here is not this append's failure — the next
+            # ENOSPC append will reclaim harder.
+            self.rotate()
+            try:
+                self.compact()
+            except OSError as exc:
+                if exc.errno != errno.ENOSPC:
+                    raise
+                self.metrics.inc("service.journal.enospc")
         return record
 
+    # -- rotation / compaction -----------------------------------------
+    def rotate(self) -> str | None:
+        """Seal the active segment; returns the sealed path (or
+        ``None`` if the active segment is empty).
+
+        One atomic rename: a crash before it changes nothing, a crash
+        after it leaves no active file — which the next open treats as
+        an empty active segment."""
+        if self._active_first_seq is None or not os.path.exists(self.path):
+            return None
+        sealed = os.path.join(
+            os.path.dirname(self.path) or ".",
+            f"{_stem(self.path)}-{self._active_first_seq:08d}.jsonl")
+        self.storage.rename(self.path, sealed, "journal")
+        self._active_first_seq = None
+        self._active_records = 0
+        self.metrics.inc("service.journal.rotations")
+        return sealed
+
+    def compact(self, keep_terminal: int | None = None) -> dict:
+        """Fold sealed segments (+ any previous compact) into one file,
+        dropping what replay no longer needs; returns stats.
+
+        Never touches the active segment.  Crash-safe at every step:
+        the new compact lands by atomic replace *before* superseded
+        files are deleted, and open() finishes an interrupted cleanup.
+        """
+        keep = self.keep_terminal if keep_terminal is None else int(
+            keep_terminal)
+        inv = journal_inventory(self.path)
+        plain = [(first, p) for first, p in inv["segments"]
+                 if first > inv["through"]]
+        if not plain and not inv["compacts"]:
+            return {"retained": 0, "dropped": 0, "gc_jobs": 0, "through": 0}
+        sealed_max = inv["through"]
+        sealed_records = []
+        if inv["compacts"]:
+            recs, _ = read_journal(inv["compacts"][-1][1])
+            sealed_records += recs
+        for _first, p in plain:
+            recs, torn = read_journal(p)
+            if torn:
+                raise JournalCorruptionError(
+                    p, len(recs) + 1, "torn tail in sealed segment")
+            sealed_records += recs
+            if recs:
+                sealed_max = max(sealed_max, recs[-1].get("seq", 0))
+        retained, gc_jobs = self._retain(sealed_records, sealed_max, keep)
+        new_path = os.path.join(
+            os.path.dirname(self.path) or ".",
+            f"{_stem(self.path)}-{sealed_max:08d}.compact.jsonl")
+        body = "".join(encode_record(r) for r in retained)
+        self.storage.replace_atomic(new_path, body, "journal")
+        # New compact is durable; everything it covers is now debris.
+        for _first, p in plain:
+            if os.path.abspath(p) != os.path.abspath(new_path):
+                self.storage.remove(p, "journal")
+        for _through, p in inv["compacts"]:
+            if os.path.abspath(p) != os.path.abspath(new_path):
+                self.storage.remove(p, "journal")
+        self.metrics.inc("service.journal.compactions")
+        stats = {"retained": len(retained),
+                 "dropped": len(sealed_records) - len(retained),
+                 "gc_jobs": gc_jobs, "through": sealed_max}
+        return stats
+
+    def _retain(self, sealed_records: list, sealed_max: int,
+                keep_terminal: int):
+        """Pick which sealed records survive compaction.
+
+        The rule that keeps replay legal: a job may only be slimmed or
+        dropped if **every** one of its records is inside the sealed
+        range — a job with newer records (in the active segment) keeps
+        all its sealed history, because those newer records' legality
+        depends on it.
+        """
+        per_job = {}       # job_id -> [records, any file]
+        breaker_last = {}  # (graph_key, strategy) -> last sealed record
+        for r in self.records:
+            kind = r.get("kind")
+            if kind in ("open", None):
+                continue
+            if kind == "breaker":
+                if r.get("seq", 0) <= sealed_max:
+                    breaker_last[(r.get("graph_key", ""),
+                                  r.get("strategy", ""))] = r
+                continue
+            jid = (r["job"]["job_id"] if kind in ("submit", "shed")
+                   else r.get("job_id"))
+            per_job.setdefault(jid, []).append(r)
+        state = replay_state(self.records, self.path)
+        fully_sealed = {
+            jid: all(r.get("seq", 0) <= sealed_max for r in recs)
+            for jid, recs in per_job.items()}
+        collectable = sorted(
+            (max(r.get("seq", 0) for r in per_job[jid]), jid)
+            for jid, job in ((j, state.jobs[j]) for j in per_job)
+            if job.state in TERMINAL_STATES and fully_sealed[jid])
+        drop = {jid for _seq, jid in
+                collectable[:max(0, len(collectable) - keep_terminal)]}
+        slim = {jid for _seq, jid in collectable} - drop
+
+        # Minimal legal chain for each slimmed job, identified by seq
+        # (the disk copies in sealed_records are distinct dict objects
+        # from the in-memory ones in per_job).
+        keep_seqs = set()
+        for jid in slim:
+            recs = per_job[jid]
+            final_state = state.jobs[jid].state
+            # Chain head: the *last* submit/shed record — a job that was
+            # shed (or failed) and then resubmitted is governed by its
+            # newest admission, and replaying the stale one first would
+            # make the final run's records illegal.
+            chain = [r for r in recs if r["kind"] in ("submit", "shed")][-1:]
+            if final_state in (DONE, FAILED):
+                starts = [r for r in recs if r["kind"] == "start"]
+                if starts:
+                    chain.append(starts[-1])
+            chain.append(recs[-1])
+            keep_seqs.update(r["seq"] for r in chain)
+        breaker_seqs = {r.get("seq") for r in breaker_last.values()}
+
+        retained, gc = [], len(drop)
+        for r in sealed_records:
+            kind = r.get("kind")
+            if kind in ("open", None):
+                continue
+            if kind == "breaker":
+                if r.get("seq") in breaker_seqs:
+                    retained.append(r)
+                continue
+            jid = (r["job"]["job_id"] if kind in ("submit", "shed")
+                   else r.get("job_id"))
+            if jid in drop:
+                continue
+            if jid in slim and r["seq"] not in keep_seqs:
+                continue
+            retained.append(r)
+        return retained, gc
+
+    def reclaim(self) -> None:
+        """Free disk space: rotate, compact aggressively (GC every
+        fully-sealed terminal job), then let the owner free more.
+
+        Each step is best-effort under ``ENOSPC`` — compaction itself
+        needs room for its output, so a still-full disk skips it and
+        relies on the owner's hook (cache eviction frees space without
+        writing)."""
+        self.rotate()
+        try:
+            self.compact(keep_terminal=0)
+        except OSError as exc:
+            if exc.errno != errno.ENOSPC:
+                raise
+        if self.on_reclaim is not None:
+            self.on_reclaim()
+        self.metrics.inc("service.journal.reclaims")
+
+    def total_bytes(self) -> int:
+        """Bytes on disk across every journal file."""
+        inv = journal_inventory(self.path)
+        total = 0
+        for _role, p in _chain_files(inv):
+            if os.path.exists(p):
+                total += os.path.getsize(p)
+        return total
+
     def close(self) -> None:
-        if not self._fh.closed:
-            self._fh.close()
+        self._closed = True
 
     def __enter__(self):
         return self

@@ -23,6 +23,7 @@ seconds), ``jobs_per_sec``, ``shed_rate`` and ``degraded_rate``.
 
 from __future__ import annotations
 
+import heapq
 import zlib
 from dataclasses import dataclass
 
@@ -34,9 +35,10 @@ from ..gpusim import GTX_TITAN, Device
 from ..observability.registry import NULL_REGISTRY
 from .admission import AdmissionController, AdmissionPolicy
 from .jobs import JobSpec
+from .scheduler import backoff_delay
 
-__all__ = ["LoadScenario", "SCENARIOS", "run_load_scenario",
-           "service_bench_rows"]
+__all__ = ["LoadScenario", "RETRY_STORM", "SCENARIOS",
+           "run_load_scenario", "service_bench_rows"]
 
 
 @dataclass(frozen=True)
@@ -59,6 +61,13 @@ class LoadScenario:
     #: Root fraction a degraded job runs (mirrors the scheduler's
     #: overload sampling).
     sample_fraction: float = 0.25
+    #: Shed arrivals re-offer themselves up to this many times, after
+    #: the client SDK's deterministic jittered backoff floored at the
+    #: server's ``retry_after`` hint.  0 (the committed default) keeps
+    #: the scenario's rows byte-identical to the pre-retry model.
+    client_retries: int = 0
+    client_backoff_base: float = 0.05
+    client_backoff_cap: float = 2.0
 
 
 #: The committed bench scenarios (kept cheap: one 256-scale graph).
@@ -68,6 +77,14 @@ SCENARIOS = (
     LoadScenario("overload", jobs=40, arrival_rate=50_000.0,
                  max_queue=8, degrade_threshold=3, tenant_quota=8),
 )
+
+#: The chaos scenario the soak CI job runs: overload arrivals whose
+#: clients retry on shed, honouring ``retry_after`` hints.  Deliberately
+#: NOT in :data:`SCENARIOS` — its rows never enter the committed bench
+#: baseline, so the retry model can evolve without perf-gate churn.
+RETRY_STORM = LoadScenario("retry-storm", jobs=40, arrival_rate=50_000.0,
+                           max_queue=8, degrade_threshold=3,
+                           tenant_quota=8, client_retries=4)
 
 
 def _service_times(scenario: LoadScenario, metrics) -> dict:
@@ -120,7 +137,15 @@ def run_load_scenario(scenario: LoadScenario, *, seed: int = 0,
     degraded = 0
     latencies: list = []
 
-    for i, t in enumerate(arrivals):
+    retries = 0
+    gave_up = 0
+    # Offer events in simulated-time order; a retrying client re-offers
+    # its shed arrival later.  With client_retries=0 this is exactly the
+    # original in-order arrival walk (rows stay byte-identical).
+    events = [(float(t), i, 0) for i, t in enumerate(arrivals)]
+    heapq.heapify(events)
+    while events:
+        t, i, attempt = heapq.heappop(events)
         tenant = f"t{i % scenario.tenants}"
         strategy = scenario.strategies[i % len(scenario.strategies)]
         spec = JobSpec(job_id=f"load{i:04d}", graph=scenario.graph,
@@ -135,8 +160,21 @@ def run_load_scenario(scenario: LoadScenario, *, seed: int = 0,
                    if a["tenant"] == tenant and a["completion"] > t)
         try:
             mode = admission.decide(spec, depth, live)
-        except ServiceOverloadError:
+        except ServiceOverloadError as exc:
+            if attempt < scenario.client_retries:
+                retries += 1
+                delay = backoff_delay(attempt + 1,
+                                      base=scenario.client_backoff_base,
+                                      cap=scenario.client_backoff_cap,
+                                      seed=seed, token=spec.job_id)
+                hint = getattr(exc, "retry_after", None)
+                if hint is not None:
+                    delay = max(delay, float(hint))
+                heapq.heappush(events, (t + delay, i, attempt + 1))
+                continue
             shed += 1
+            if scenario.client_retries:
+                gave_up += 1
             continue
         is_degraded = mode == "degrade"
         if is_degraded:
@@ -171,6 +209,12 @@ def run_load_scenario(scenario: LoadScenario, *, seed: int = 0,
         "shed_rate": float(shed / scenario.jobs),
         "degraded_rate": float(degraded / scenario.jobs),
     }
+    if scenario.client_retries:
+        # Retry fields appear only for retry-modelled scenarios so the
+        # committed SCENARIOS rows stay byte-identical.
+        row["client_retries"] = int(scenario.client_retries)
+        row["retries"] = int(retries)
+        row["gave_up"] = int(gave_up)
     metrics.record("service.loadgen", scenario=scenario.name,
                    completed=len(admitted), shed=shed, degraded=degraded)
     return row

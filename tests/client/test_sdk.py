@@ -1,0 +1,191 @@
+"""BCClient: typed backoff, content-derived idempotency, hedged status,
+spool transport, and the wait/timeout contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.client import (
+    BCClient,
+    InProcessTransport,
+    RetryPolicy,
+    SpoolTransport,
+    derive_job_id,
+)
+from repro.errors import (
+    GraphFormatError,
+    JobNotFoundError,
+    ServiceOverloadError,
+)
+from repro.service import DONE, AdmissionPolicy, BCService, JobSpec
+
+pytestmark = pytest.mark.service
+
+
+def spec(i=1, **kw):
+    kw.setdefault("graph", "smallworld")
+    kw.setdefault("scale_factor", 512)
+    kw.setdefault("strategy", "sampling")
+    kw.setdefault("roots", 4)
+    kw.setdefault("seed", i)
+    return JobSpec(**kw)
+
+
+class FlakyTransport:
+    """Fails the first ``n`` calls with a given error, then succeeds."""
+
+    def __init__(self, n, exc):
+        self.n, self.exc, self.calls = n, exc, 0
+        self.journal_path = "/nonexistent/journal.jsonl"
+
+    def submit(self, s):
+        self.calls += 1
+        if self.calls <= self.n:
+            raise self.exc
+        return s.job_id
+
+    status = result = submit
+
+
+# -- derive_job_id / RetryPolicy --------------------------------------
+
+def test_derive_job_id_deterministic_and_content_sensitive():
+    a, b = spec(1), spec(1)
+    assert derive_job_id(a) == derive_job_id(b)
+    assert derive_job_id(a).startswith("c")
+    assert derive_job_id(a) != derive_job_id(spec(2))
+    # id is part of identity derivation's *input* spec, not its output:
+    # deriving from an already-id'd spec still reflects content only
+    assert derive_job_id(a.with_id("whatever")) == derive_job_id(a)
+
+
+def test_retry_policy_validation():
+    RetryPolicy(max_retries=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(max_retries=-1)
+    with pytest.raises(ValueError):
+        RetryPolicy(base=0.0)
+    with pytest.raises(ValueError):
+        RetryPolicy(base=1.0, cap=0.5)
+
+
+# -- retry_delay ------------------------------------------------------
+
+def test_retry_delay_floors_at_server_hint():
+    cli = BCClient(FlakyTransport(0, None), seed=7)
+    assert cli.retry_delay(1, "j1", hint=99.0) == 99.0
+    assert cli.retry_delay(1, "j1", hint=None) <= cli.policy.cap
+
+
+def test_retry_delay_deterministic_and_salted_per_job():
+    a = BCClient(FlakyTransport(0, None), seed=7)
+    b = BCClient(FlakyTransport(0, None), seed=7)
+    assert [a.retry_delay(n, "jX", None) for n in range(1, 6)] == \
+           [b.retry_delay(n, "jX", None) for n in range(1, 6)]
+    # different job ids decorrelate (same seed, different salt)
+    assert [a.retry_delay(n, "jX", None) for n in range(1, 6)] != \
+           [a.retry_delay(n, "jY", None) for n in range(1, 6)]
+
+
+# -- _with_retries ----------------------------------------------------
+
+def test_retries_absorb_overload_then_succeed():
+    t = FlakyTransport(3, ServiceOverloadError("full", retry_after=0.25))
+    cli = BCClient(t, policy=RetryPolicy(max_retries=5), seed=1)
+    assert cli.submit(spec(1)) == derive_job_id(spec(1))
+    assert cli.report["retries"] == 3
+    assert len(cli.report["delays"]) == 3
+    assert all(d >= 0.25 for d in cli.report["delays"])  # hint floor
+    assert cli.slept_seconds == sum(cli.report["delays"])
+
+
+def test_exhausted_retries_reraise_original_typed_error():
+    t = FlakyTransport(99, ServiceOverloadError("full", retry_after=0.1))
+    cli = BCClient(t, policy=RetryPolicy(max_retries=2), seed=1)
+    with pytest.raises(ServiceOverloadError):
+        cli.submit(spec(1))
+    assert t.calls == 3                    # initial + 2 retries
+
+
+def test_non_retryable_error_propagates_immediately():
+    t = FlakyTransport(99, GraphFormatError("bad graph"))
+    cli = BCClient(t, policy=RetryPolicy(max_retries=5), seed=1)
+    with pytest.raises(GraphFormatError):
+        cli.submit(spec(1))
+    assert t.calls == 1 and cli.report["retries"] == 0
+
+
+# -- end-to-end over a live service -----------------------------------
+
+def test_submit_idempotent_through_service(tmp_path):
+    with BCService(tmp_path / "svc") as svc:
+        cli = BCClient(InProcessTransport(svc), seed=3)
+        j1 = cli.submit(spec(1))
+        j2 = cli.submit(spec(1))           # double-send: same job
+        assert j1 == j2 and len(svc.jobs) == 1
+        svc.run_pending()
+        values, meta = cli.result(j1)
+        assert values.size > 0 and meta["exact"] is True
+        assert cli.wait(j1)["state"] == DONE
+
+
+def test_shed_then_client_retry_lands_same_job(tmp_path):
+    policy = AdmissionPolicy(max_queue=1, degrade_threshold=1)
+    with BCService(tmp_path / "svc", policy=policy) as svc:
+        cli = BCClient(InProcessTransport(svc),
+                       policy=RetryPolicy(max_retries=6), seed=5)
+        first = cli.submit(spec(1))
+        # queue now full: the next submit sheds, the client backs off;
+        # drain between attempts so a retry eventually lands
+        blocked = spec(2)
+        with pytest.raises(ServiceOverloadError):
+            BCClient(InProcessTransport(svc),
+                     policy=RetryPolicy(max_retries=0)).submit(blocked)
+        svc.run_pending()
+        second = cli.submit(blocked)
+        svc.run_pending()
+        assert svc.jobs[first].state == DONE
+        assert svc.jobs[second].state == DONE
+
+
+def test_hedged_status_falls_back_to_journal(tmp_path):
+    with BCService(tmp_path / "svc") as svc:
+        cli = BCClient(InProcessTransport(svc), seed=1)
+        job_id = cli.submit(spec(1))
+        svc.run_pending()
+
+    class DeadTransport:
+        journal_path = str(tmp_path / "svc" / "journal.jsonl")
+
+        def status(self, job_id):
+            raise ConnectionError("daemon is down")
+
+    dead = BCClient(DeadTransport(), seed=1)
+    status = dead.status(job_id)
+    assert status["state"] == DONE
+    assert dead.report["hedged_polls"] == 1
+    # unknown jobs are unknown on both paths
+    with pytest.raises(JobNotFoundError):
+        dead.status("ghost")
+
+
+def test_spool_transport_ticket_and_offline_status(tmp_path):
+    root = tmp_path / "svc"
+    with BCService(root) as svc:
+        cli = BCClient(SpoolTransport(root), seed=2)
+        job_id = cli.submit(spec(1))
+        assert job_id == derive_job_id(spec(1))
+        # ticket is on disk; the daemon ingests and runs it
+        assert svc.poll_spool() == 1
+        svc.run_pending()
+    # daemon gone: spool status reads the journal offline
+    assert cli.status(job_id)["state"] == DONE
+    assert cli.wait(job_id)["state"] == DONE
+
+
+def test_wait_times_out_on_starved_job(tmp_path):
+    with BCService(tmp_path / "svc") as svc:
+        cli = BCClient(InProcessTransport(svc), seed=1)
+        job_id = cli.submit(spec(1))       # never run
+        with pytest.raises(TimeoutError):
+            cli.wait(job_id, max_polls=3)

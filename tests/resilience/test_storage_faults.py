@@ -1,0 +1,124 @@
+"""Storage fault grammar (`enospc`/`torn`/`fsync-lie`/`rot`) and the
+one-fault-per-write runtime semantics of ``ActiveFaults.storage_fire``."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FaultSpecError
+from repro.resilience import (
+    ENOSPC,
+    FSYNC_LIE,
+    ROT,
+    STORAGE_KINDS,
+    STORAGE_TARGETS,
+    TORN,
+    ActiveFaults,
+    FaultEvent,
+    FaultPlan,
+)
+
+pytestmark = pytest.mark.faults
+
+
+class TestGrammar:
+    @pytest.mark.parametrize("spec", [
+        "enospc:0",
+        "enospc:3@journal",
+        "enospc:2@journalx3",
+        "torn:1@journal",
+        "fsync-lie:4",
+        "fsync-lie:0@spool",
+        "rot:2@cache",
+        "rot:5@cache#3",
+        "enospc:1@any",
+        "rot:0#7",
+    ])
+    def test_roundtrip(self, spec):
+        plan = FaultPlan.parse(spec)
+        assert FaultPlan.parse(str(plan)) == plan
+
+    def test_mixes_with_compute_kinds(self):
+        plan = FaultPlan.parse("fail:0@compute+1;enospc:2@journal;oom:1x2")
+        kinds = [ev.kind for ev in plan.events]
+        assert ENOSPC in kinds
+        assert FaultPlan.parse(str(plan)) == plan
+
+    def test_storage_classmethod(self):
+        plan = FaultPlan.storage(TORN, target="journal", after_writes=2)
+        (ev,) = plan.events
+        assert ev.kind == TORN and ev.target == "journal"
+        assert ev.after_writes == 2 and ev.is_storage
+
+    @pytest.mark.parametrize("bad", [
+        "enospc:0@floppy",       # unknown target
+        "torn:0x2",              # xTIMES only for enospc
+        "rot:-1",                # negative write count
+        "fsync-lie:0#3",         # #BIT only for rot
+        "enospc:abc",
+    ])
+    def test_rejects(self, bad):
+        with pytest.raises(FaultSpecError):
+            FaultPlan.parse(bad)
+
+    def test_event_validation(self):
+        with pytest.raises(FaultSpecError):
+            FaultEvent(ENOSPC, target="nowhere")
+        with pytest.raises(FaultSpecError):
+            FaultEvent(TORN, times=2)
+        with pytest.raises(FaultSpecError):
+            # non-storage kinds take no storage fields
+            FaultEvent("oom", 0, target="journal")
+
+    def test_constants(self):
+        assert set(STORAGE_KINDS) == {ENOSPC, TORN, FSYNC_LIE, ROT}
+        assert "any" in STORAGE_TARGETS
+
+
+class TestStorageFire:
+    def test_after_counts_only_unharmed_matching_writes(self):
+        af = ActiveFaults(FaultPlan.parse("enospc:2@journal"), seed=0)
+        # wrong-target writes never advance the count
+        for _ in range(5):
+            assert af.storage_fire("cache") is None
+        assert af.storage_fire("journal") is None   # unharmed #1
+        assert af.storage_fire("journal") is None   # unharmed #2
+        ev = af.storage_fire("journal")
+        assert ev is not None and ev.kind == ENOSPC
+        # consumed: the retry sees a healthy disk
+        assert af.storage_fire("journal") is None
+
+    def test_enospc_times_refires(self):
+        af = ActiveFaults(FaultPlan.parse("enospc:0@cachex3"), seed=0)
+        fired = sum(1 for _ in range(10)
+                    if af.storage_fire("cache") is not None)
+        assert fired == 3
+
+    def test_any_target_matches_every_site(self):
+        af = ActiveFaults(FaultPlan.parse("fsync-lie:0"), seed=0)
+        assert af.storage_fire("spool").kind == FSYNC_LIE
+
+    def test_one_fault_per_attempt(self):
+        af = ActiveFaults(FaultPlan.parse("enospc:0@journal;torn:0@journal"),
+                          seed=0)
+        first = af.storage_fire("journal")
+        second = af.storage_fire("journal")
+        assert first.kind == ENOSPC
+        assert second.kind == TORN     # next attempt, next fault
+        assert af.storage_fire("journal") is None
+
+    def test_harmed_attempts_do_not_count_as_unharmed(self):
+        # the torn event needs 1 unharmed write; the enospc firing on
+        # the first attempt must not advance torn's count
+        af = ActiveFaults(FaultPlan.parse("enospc:0@journal;torn:1@journal"),
+                          seed=0)
+        assert af.storage_fire("journal").kind == ENOSPC   # harmed
+        assert af.storage_fire("journal") is None          # unharmed #1
+        assert af.storage_fire("journal").kind == TORN
+
+    def test_pending_property(self):
+        af = ActiveFaults(FaultPlan.parse("enospc:0@journalx2;rot:0@cache"),
+                          seed=0)
+        assert af.storage_events_pending == 3
+        af.storage_fire("journal")
+        assert af.storage_events_pending == 2

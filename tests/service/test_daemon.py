@@ -70,8 +70,13 @@ def test_submit_process_result_roundtrip(tmp_path):
         assert values.shape[0] > 0
         with pytest.raises(JobNotFoundError):
             svc.status("ghost")
+        # Identical content resubmitted (same id or no id): folded into
+        # the existing job — submit idempotency, no second execution.
+        again = svc.submit(spec(1))
+        assert again is job
+        # Same id for *different* content is still an error.
         with pytest.raises(JobSpecError):
-            svc.submit(spec(1))  # duplicate id
+            svc.submit(spec(1, seed=999))
 
 
 def test_crash_recovery_grid_every_truncation_point(tmp_path):
