@@ -210,7 +210,8 @@ def build_trace_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-bc trace",
         description="Replay a repro.trace/v1 decision trace as a "
-                    "human-readable audit.",
+                    "human-readable audit, or reconstruct one service "
+                    "job's lifecycle from the repro.events/v1 stream.",
     )
     sub = parser.add_subparsers(dest="trace_command", required=True)
     exp_p = sub.add_parser(
@@ -220,6 +221,21 @@ def build_trace_parser() -> argparse.ArgumentParser:
     exp_p.add_argument("--root", type=int, default=None,
                        help="audit only this root (default: all, "
                             "deduplicated by identical decision sequence)")
+    tl_p = sub.add_parser(
+        "timeline", help="span tree of one job's full lifecycle "
+                         "(client -> admission -> attempts -> terminal) "
+                         "from the service event stream")
+    tl_p.add_argument("id", help="job id or trace id ('tr…')")
+    tl_p.add_argument("--root", default=".repro-service", metavar="DIR",
+                      help="service directory holding events.jsonl "
+                           "(default .repro-service)")
+    tl_p.add_argument("--events", default=None, metavar="PATH",
+                      help="event stream file (overrides --root)")
+    tl_p.add_argument("--out", default=None, metavar="PATH",
+                      help="write the repro.timeline/v1 document here")
+    tl_p.add_argument("--chrome-trace", default=None, metavar="PATH",
+                      help="write this trace as a Chrome trace-event "
+                           "file (chrome://tracing, Perfetto)")
     return parser
 
 
@@ -305,6 +321,18 @@ def build_service_parser() -> argparse.ArgumentParser:
     jour_p.add_argument("path", nargs="?", default=None,
                         help="journal file or service root "
                              "(default: --root)")
+
+    top_p = sub.add_parser("top", parents=[common],
+                           help="offline SLO snapshot: per-tenant/"
+                                "per-strategy latency percentiles, "
+                                "phase decomposition, shed/degrade/"
+                                "error-budget rates from the event "
+                                "stream")
+    top_p.add_argument("--out", default=None, metavar="PATH",
+                       help="write the repro.slo/v1 report here")
+    top_p.add_argument("--chrome-trace", default=None, metavar="PATH",
+                       help="export the whole run as a Chrome "
+                            "trace-event file (Perfetto-viewable)")
 
     soak_p = sub.add_parser("soak", parents=[common],
                             help="seeded chaos soak: kills, disk "
@@ -640,6 +668,40 @@ def _service_main(argv) -> int:
             print("all invariants held")
             return 0
 
+        if args.service_command == "top":
+            from .telemetry import (
+                aggregate_slo,
+                chrome_trace,
+                read_events,
+                render_top,
+                write_chrome_trace,
+            )
+
+            events_path = os.path.join(root, "events.jsonl")
+            if not os.path.exists(events_path):
+                raise _InputError(
+                    f"error: no event stream at {events_path!r}. The "
+                    f"daemon writes it next to the journal; run some "
+                    f"jobs first.")
+            events, torn = read_events(events_path)
+            report = aggregate_slo(events)
+            print("\n".join(render_top(report)))
+            if torn:
+                print("note: torn tail dropped (crash mid-append; the "
+                      "next daemon open reconciles it)")
+            if args.out:
+                _write_report(args.out, report)
+            if args.chrome_trace:
+                try:
+                    write_chrome_trace(args.chrome_trace,
+                                       chrome_trace(events))
+                except OSError as exc:
+                    raise _OutputError(
+                        f"error: cannot write {args.chrome_trace}: "
+                        f"{exc.strerror or exc}") from exc
+                print(f"chrome trace: {args.chrome_trace}")
+            return 0
+
         # status/results: read-only over the journal + cache — valid at
         # every instant, daemon or no daemon.
         if not os.path.exists(journal_path):
@@ -658,6 +720,25 @@ def _service_main(argv) -> int:
                     return 1
                 print(json.dumps(job.status_dict(), indent=2,
                                  sort_keys=True))
+                # Per-attempt timing from the event stream (when the
+                # daemon has one): queued/backoff/compute per attempt,
+                # which the journal alone cannot decompose.
+                events_path = os.path.join(root, "events.jsonl")
+                if os.path.exists(events_path):
+                    from .telemetry import attempt_rows, read_events
+
+                    events, _ = read_events(events_path)
+                    rows = attempt_rows(events, args.job_id)
+                    if rows:
+                        print("attempts (from event stream):")
+                    for r in rows:
+                        tail = (f", backoff {r['backoff_after']:.6f}s"
+                                if r["backoff_after"] is not None else "")
+                        tail += (f", compute {r['compute']:.6f}s"
+                                 if r["compute"] is not None else "")
+                        print(f"  a{r['attempt']} on {r['device']}: "
+                              f"queued {r['queue_wait']:.6f}s -> "
+                              f"{r['outcome']}{tail}")
                 return 0
             ordered = sorted(state.jobs.values(),
                              key=lambda j: j.submit_seq)
@@ -723,10 +804,13 @@ def _service_main(argv) -> int:
 
 
 def _trace_main(argv) -> int:
+    args = build_trace_parser().parse_args(argv)
+    if args.trace_command == "timeline":
+        return _trace_timeline(args)
+
     from .errors import TraceFormatError
     from .observability import explain_lines, load_trace
 
-    args = build_trace_parser().parse_args(argv)
     try:
         doc = load_trace(args.trace)
         print("\n".join(explain_lines(doc, root=args.root)))
@@ -734,6 +818,49 @@ def _trace_main(argv) -> int:
     except (TraceFormatError, ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+
+def _trace_timeline(args) -> int:
+    import os
+
+    from .telemetry import (
+        build_timeline,
+        chrome_trace,
+        read_events,
+        render_timeline,
+        write_chrome_trace,
+    )
+
+    path = args.events or os.path.join(args.root, "events.jsonl")
+    if not os.path.exists(path):
+        print(f"error: no event stream at {path!r}. The service daemon "
+              f"writes events.jsonl next to its journal.", file=sys.stderr)
+        return 3
+    events, _torn = read_events(path)
+    # Trace ids are 'tr' + 16 hex chars; everything else is a job id.
+    selector = ({"trace_id": args.id}
+                if args.id.startswith("tr") and len(args.id) == 18
+                else {"job_id": args.id})
+    try:
+        doc = build_timeline(events, **selector)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print("\n".join(render_timeline(doc)))
+    try:
+        if args.out:
+            _write_report(args.out, doc)
+        if args.chrome_trace:
+            if doc["trace_id"]:
+                export = chrome_trace(events, trace_id=doc["trace_id"])
+            else:
+                export = chrome_trace(events, **selector)
+            write_chrome_trace(args.chrome_trace, export)
+            print(f"chrome trace: {args.chrome_trace}")
+    except (_OutputError, OSError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    return 0
 
 
 def _render_resilience(args, metrics=None) -> str:

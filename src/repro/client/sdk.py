@@ -45,6 +45,7 @@ from ..errors import (
     StorageFullError,
 )
 from ..observability.registry import NULL_REGISTRY
+from ..telemetry import trace_id_for
 from ..service.jobs import JobSpec, TERMINAL_STATES
 from ..service.journal import read_journal_chain, replay_state
 from ..service.scheduler import backoff_delay
@@ -173,6 +174,12 @@ class BCClient:
         #: Client-side audit counters.
         self.report = {"submits": 0, "retries": 0, "hedged_polls": 0,
                        "delays": []}
+        #: job id -> trace id, learned at submit.  The id is derived
+        #: from the spec's content key (:func:`trace_id_for`), so it
+        #: matches what the daemon's event stream records without any
+        #: id riding the wire — a lost-ack resubmit joins the same
+        #: trace by construction.
+        self.traces: dict = {}
 
     # -- internals -----------------------------------------------------
     def _sleep(self, delay: float) -> None:
@@ -208,18 +215,36 @@ class BCClient:
                 self.report["retries"] += 1
                 self.metrics.inc("client.retries",
                                  kind=type(exc).__name__)
+                self.metrics.record(
+                    "client.retry", job_id=job_id,
+                    trace_id=self.traces.get(job_id), attempt=attempt,
+                    kind=type(exc).__name__, delay=float(delay))
                 self._sleep(delay)
 
     # -- API -----------------------------------------------------------
     def submit(self, spec) -> str:
-        """Submit (idempotently) with retries; returns the job id."""
+        """Submit (idempotently) with retries; returns the job id.
+
+        The job's trace id — the key into the daemon's
+        ``repro.events/v1`` stream — is recorded in :attr:`traces`
+        (and as a ``client.submit`` metric event) before the first
+        send, so the caller can follow the trace even if every send
+        is shed."""
         if isinstance(spec, dict):
             spec = JobSpec.from_dict(spec)
         if not spec.job_id:
             spec = spec.with_id(derive_job_id(spec))
+        trace = trace_id_for(spec)
+        self.traces[spec.job_id] = trace
         self.report["submits"] += 1
+        self.metrics.record("client.submit", job_id=spec.job_id,
+                            trace_id=trace, tenant=spec.tenant)
         return self._with_retries(spec.job_id,
                                   lambda: self.transport.submit(spec))
+
+    def trace_id(self, job_id: str) -> str | None:
+        """The trace id of a job this client submitted (or ``None``)."""
+        return self.traces.get(job_id)
 
     def status(self, job_id: str) -> dict:
         """Hedged status: primary transport first, offline journal

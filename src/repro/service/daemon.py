@@ -46,7 +46,8 @@ from ..errors import (
     StorageFullError,
 )
 from ..graph.generators import make_dataset
-from ..observability.registry import NULL_REGISTRY
+from ..observability.registry import MetricsRegistry
+from ..telemetry import TelemetryLog, trace_id_for
 from .admission import AdmissionController, AdmissionPolicy
 from .cache import ResultCache, result_key
 from .jobs import (
@@ -92,7 +93,10 @@ class BCService:
                  cache_max_bytes: int | None = None):
         self.root = str(root)
         os.makedirs(self.root, exist_ok=True)
-        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        # A real registry by default: admission/scheduler/journal/cache
+        # counters are cheap, and `serve --metrics-out` should export
+        # real numbers without the caller having to wire anything.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.storage = (storage if storage is not None
                         else ServiceStorage(metrics=self.metrics))
         self.journal = JobJournal(os.path.join(self.root, "journal.jsonl"),
@@ -145,7 +149,29 @@ class BCService:
         #: Storage-full requeues per job (bounded; then the job fails).
         self._storage_requeues: dict = {}
 
+        # Lifecycle event stream (repro.events/v1) next to the journal.
+        # Constructed *after* replay so reconcile can back-fill events
+        # for everything journalled before the hook existed — this
+        # open's `open` record, recovery requeues, and any record whose
+        # event died with the previous process.
+        self.telemetry = TelemetryLog(
+            os.path.join(self.root, "events.jsonl"),
+            storage=self.storage, clock=self.scheduler.clock,
+            metrics=self.metrics)
+        self.telemetry.reconcile(self.journal.records)
+        self.journal.on_append = self.telemetry.on_journal_record
+        self.scheduler.on_decision = self._on_decision
+
     # -- infrastructure ------------------------------------------------
+    def _on_decision(self, decision: dict) -> None:
+        """Mirror one scheduler decision as a ``sched.*`` event."""
+        fields = {k: v for k, v in decision.items() if k != "decision"}
+        job_id = fields.get("job_id")
+        trace = self.telemetry.trace_for(job_id) if job_id else None
+        if trace:
+            fields["trace_id"] = trace
+        self.telemetry.emit(f"sched.{decision['decision']}", **fields)
+
     def _journal_breaker(self, key, state, failures) -> None:
         graph_key, strategy = key
         self.journal.append("breaker", graph_key=graph_key,
@@ -211,6 +237,9 @@ class BCService:
                 raise JobSpecError(f"duplicate job id {spec.job_id!r}")
             if existing.state in self._DEDUPE_STATES:
                 self.metrics.inc("service.deduped", by="job-id")
+                self.telemetry.emit("dedupe", trace_id=trace_id_for(spec),
+                                    job_id=existing.job_id, by="job-id",
+                                    state=existing.state)
                 return existing
             # Identical content whose prior run ended in a terminal
             # failure (failed/cancelled/shed): resubmission is the
@@ -222,6 +251,9 @@ class BCService:
             prior = self.jobs.get(prior_id)
             if prior is not None and prior.state in self._DEDUPE_STATES:
                 self.metrics.inc("service.deduped", by="content")
+                self.telemetry.emit("dedupe", trace_id=trace_id_for(spec),
+                                    job_id=prior.job_id, by="content",
+                                    state=prior.state)
                 return prior
         if not spec.job_id:
             spec = spec.with_id(f"j{self._next_id:06d}")
@@ -587,6 +619,7 @@ class BCService:
             "journal": self.journal.total_bytes(),
             "cache": self.cache.total_bytes,
             "spool": self.spool_bytes(),
+            "events": self.telemetry.total_bytes(),
         }
 
     # -- lifecycle -----------------------------------------------------

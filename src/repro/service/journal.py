@@ -367,6 +367,12 @@ class JobJournal:
         #: Called during :meth:`reclaim` so the owner can free space
         #: outside the journal (the daemon hooks cache eviction here).
         self.on_reclaim = on_reclaim
+        #: Called with each record *after* it is durably appended (the
+        #: telemetry event stream mirrors the journal through this
+        #: single chokepoint).  Records appended before the hook is set
+        #: — the ``open`` record, recovery requeues — are back-filled
+        #: by :meth:`repro.telemetry.TelemetryLog.reconcile`.
+        self.on_append = None
         parent = os.path.dirname(self.path)
         if parent:
             os.makedirs(parent, exist_ok=True)
@@ -455,6 +461,8 @@ class JobJournal:
         if self._active_first_seq is None:
             self._active_first_seq = record["seq"]
         self.metrics.inc("service.journal.records", kind=kind)
+        if self.on_append is not None:
+            self.on_append(record)
         if (self.max_segment_bytes is not None
                 and os.path.getsize(self.path) >= self.max_segment_bytes):
             # Opportunistic: the record above is already durable, so a

@@ -17,8 +17,12 @@ Two committed scenarios:
 Each scenario produces one ``repro.bench/v1`` result row keyed
 ``(dataset="service-load", strategy=<scenario>)`` carrying
 ``makespan_cycles`` (so the default perf-diff metric ratchets it) plus
-service-level fields: ``p50_latency``/``p99_latency`` (simulated
-seconds), ``jobs_per_sec``, ``shed_rate`` and ``degraded_rate``.
+service-level fields: ``p50_latency``/``p99_latency`` and
+``p50_queue_wait``/``p99_queue_wait`` (simulated seconds),
+``jobs_per_sec``, ``shed_rate``, ``degraded_rate``, and a
+``per_tenant`` breakdown (jobs, p99 latency, p99 queue wait) — the
+same decomposition ``repro service top`` reports from the live event
+stream, so bench rows and SLO dashboards speak one vocabulary.
 """
 
 from __future__ import annotations
@@ -191,6 +195,19 @@ def run_load_scenario(scenario: LoadScenario, *, seed: int = 0,
     lat = np.asarray(latencies, dtype=np.float64)
     makespan = (max(a["completion"] for a in admitted) - float(arrivals[0])
                 if admitted else 0.0)
+    queue_waits = np.asarray([a["start"] - a["arrival"] for a in admitted],
+                             dtype=np.float64)
+    per_tenant = {}
+    for tenant in sorted({a["tenant"] for a in admitted}):
+        t_lat = np.asarray([a["completion"] - a["arrival"]
+                            for a in admitted if a["tenant"] == tenant])
+        t_qw = np.asarray([a["start"] - a["arrival"]
+                           for a in admitted if a["tenant"] == tenant])
+        per_tenant[tenant] = {
+            "jobs": int(t_lat.size),
+            "p99_latency": float(np.percentile(t_lat, 99)),
+            "p99_queue_wait": float(np.percentile(t_qw, 99)),
+        }
     clock_hz = GTX_TITAN.clock_hz
     row = {
         "dataset": "service-load",
@@ -204,10 +221,15 @@ def run_load_scenario(scenario: LoadScenario, *, seed: int = 0,
         "sim_seconds": float(makespan),
         "p50_latency": float(np.percentile(lat, 50)) if lat.size else None,
         "p99_latency": float(np.percentile(lat, 99)) if lat.size else None,
+        "p50_queue_wait": (float(np.percentile(queue_waits, 50))
+                           if queue_waits.size else None),
+        "p99_queue_wait": (float(np.percentile(queue_waits, 99))
+                           if queue_waits.size else None),
         "jobs_per_sec": (float(len(admitted) / makespan)
                          if makespan > 0 else None),
         "shed_rate": float(shed / scenario.jobs),
         "degraded_rate": float(degraded / scenario.jobs),
+        "per_tenant": per_tenant,
     }
     if scenario.client_retries:
         # Retry fields appear only for retry-modelled scenarios so the

@@ -247,12 +247,17 @@ class Scheduler:
         #: Deterministic decision log (simulated values only): two runs
         #: with the same seed and fault plans serialise byte-identically.
         self.decisions: list = []
+        #: Called with each decision dict as it is made (the telemetry
+        #: event stream mirrors scheduler decisions through this hook).
+        self.on_decision = None
 
     # ------------------------------------------------------------------
     def _decide(self, kind: str, **fields) -> None:
         decision = {"decision": kind, **fields}
         self.decisions.append(decision)
         self.metrics.record("service.decision", kind=kind, **fields)
+        if self.on_decision is not None:
+            self.on_decision(decision)
 
     def _pick_device(self) -> SimDevice:
         """Earliest-available device; name breaks ties deterministically."""

@@ -1,0 +1,198 @@
+"""Span-tree reconstruction from the ``repro.events/v1`` stream.
+
+:func:`build_timeline` folds one job's (or one trace's) events into a
+``repro.timeline/v1`` document — the submit→shed→retry→attempt→backoff→
+terminal narrative with per-attempt queue-wait/backoff/compute timing —
+and :func:`render_timeline` draws it as the ASCII tree ``repro trace
+timeline`` prints.  :func:`attempt_rows` is the compact per-attempt
+table ``repro service status <job-id>`` appends to the terminal state.
+
+Everything here is a pure function of the event list: the CLI verbs
+stay valid offline, daemon live or dead, exactly like ``status``.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TIMELINE_SCHEMA",
+    "attempt_rows",
+    "build_timeline",
+    "render_timeline",
+]
+
+TIMELINE_SCHEMA = "repro.timeline/v1"
+
+#: Event kinds that terminate one attempt (map to an outcome label).
+_TERMINALS = ("done", "fail", "cancel", "shed")
+
+
+def _select(events, job_id=None, trace_id=None) -> list:
+    """Events belonging to one job or one trace, in stream order."""
+    out = []
+    for ev in events:
+        if job_id is not None and ev.get("job_id") == job_id:
+            out.append(ev)
+        elif trace_id is not None and ev.get("trace_id") == trace_id:
+            out.append(ev)
+    return out
+
+
+def build_timeline(events, *, job_id: str | None = None,
+                   trace_id: str | None = None) -> dict:
+    """Fold a job's/trace's events into a ``repro.timeline/v1`` doc.
+
+    Pass exactly one of ``job_id``/``trace_id``; a job id resolves to
+    its trace, so sibling submissions deduped onto the same trace are
+    included.  Raises ``ValueError`` when nothing matches.
+    """
+    if (job_id is None) == (trace_id is None):
+        raise ValueError("pass exactly one of job_id / trace_id")
+    if trace_id is None:
+        for ev in events:
+            if ev.get("job_id") == job_id and ev.get("trace_id"):
+                trace_id = ev["trace_id"]
+                break
+    mine = (_select(events, trace_id=trace_id) if trace_id is not None
+            else _select(events, job_id=job_id))
+    if not mine:
+        raise ValueError(
+            f"no events for {job_id or trace_id!r} in the stream")
+
+    job_ids = sorted({ev["job_id"] for ev in mine if ev.get("job_id")})
+    attempts: list = []
+    current: dict | None = None
+    state = "pending"
+    phases = {"queued": 0.0, "backoff": 0.0, "compute": 0.0}
+    e2e = None
+    meta: dict = {}
+    sheds = 0
+    for ev in mine:
+        kind = ev.get("event")
+        if kind == "submit":
+            meta.setdefault("tenant", ev.get("tenant"))
+            meta.setdefault("graph", ev.get("graph"))
+            meta.setdefault("strategy", ev.get("strategy"))
+            meta.setdefault("roots", ev.get("roots"))
+            meta.setdefault("mode", ev.get("mode"))
+        elif kind == "shed":
+            sheds += 1
+            state = "shed"
+        elif kind == "attempt-start":
+            current = {"attempt": ev.get("attempt"),
+                       "device": ev.get("device"),
+                       "start_t": ev.get("t"),
+                       "queue_wait": float(ev.get("queue_wait") or 0.0),
+                       "outcome": "interrupted", "backoff_after": None,
+                       "compute": None}
+            attempts.append(current)
+            state = "running"
+        elif kind == "backoff":
+            if current is not None:
+                current["outcome"] = f"failed ({ev.get('reason')})"
+                current["backoff_after"] = float(ev.get("delay") or 0.0)
+            state = "pending"
+            current = None
+        elif kind in ("done", "fail"):
+            p = ev.get("phases") or {}
+            phases = {k: float(p.get(k, phases[k])) for k in phases}
+            e2e = ev.get("e2e")
+            state = "done" if kind == "done" else "failed"
+            if current is not None:
+                if kind == "done":
+                    label = "done"
+                    if ev.get("degraded_reason"):
+                        label += f" (degraded: {ev['degraded_reason']})"
+                    elif ev.get("exact"):
+                        label += " (exact)"
+                    current["outcome"] = label
+                    current["compute"] = phases["compute"]
+                else:
+                    current["outcome"] = f"failed ({ev.get('error_kind')})"
+                current = None
+            meta.setdefault("device", ev.get("device"))
+        elif kind == "cancel":
+            state = "cancelled"
+            current = None
+    return {
+        "schema": TIMELINE_SCHEMA,
+        "trace_id": trace_id,
+        "job_ids": job_ids,
+        "meta": meta,
+        "sheds": sheds,
+        "attempts": attempts,
+        "phases": phases,
+        "e2e": e2e,
+        "state": state,
+        "events": mine,
+    }
+
+
+def attempt_rows(events, job_id: str) -> list:
+    """Per-attempt timing rows for one job (``service status`` extra).
+
+    Each row: ``{"attempt", "device", "queue_wait", "outcome",
+    "backoff_after", "compute"}``."""
+    try:
+        doc = build_timeline(events, job_id=job_id)
+    except ValueError:
+        return []
+    return [dict(a) for a in doc["attempts"]]
+
+
+def _fmt_s(value) -> str:
+    return "-" if value is None else f"{float(value):.6f}s"
+
+
+def render_timeline(doc: dict) -> list:
+    """The ASCII span tree for one ``repro.timeline/v1`` document."""
+    meta = doc.get("meta", {})
+    head = (f"trace {doc.get('trace_id') or '-'}  "
+            f"job(s) {', '.join(doc['job_ids']) or '-'}")
+    sub = (f"  {meta.get('graph')}/{meta.get('strategy')} "
+           f"roots={meta.get('roots')} tenant={meta.get('tenant')} "
+           f"-> {doc['state']}")
+    lines = [head, sub]
+    rows: list = []
+    for ev in doc["events"]:
+        kind = ev.get("event")
+        t = float(ev.get("t", 0.0))
+        if kind == "submit":
+            rows.append((t, f"submit (mode={ev.get('mode')}, "
+                            f"job {ev.get('job_id')})"))
+        elif kind == "shed":
+            rows.append((t, f"shed: {ev.get('reason')}"))
+        elif kind == "dedupe":
+            rows.append((t, f"resubmit deduped onto {ev.get('job_id')} "
+                            f"(by {ev.get('by')})"))
+        elif kind == "attempt-start":
+            rows.append((t, f"attempt {ev.get('attempt')} on "
+                            f"{ev.get('device')} (queued "
+                            f"{_fmt_s(ev.get('queue_wait'))})"))
+        elif kind == "backoff":
+            rows.append((t, f"backoff {_fmt_s(ev.get('delay'))} after "
+                            f"{ev.get('reason')}"))
+        elif kind == "done":
+            flag = ("exact" if ev.get("exact")
+                    else f"degraded: {ev.get('degraded_reason')}")
+            rows.append((t, f"done on {ev.get('device')} ({flag}, "
+                            f"compute {_fmt_s((ev.get('phases') or {}).get('compute'))})"))
+        elif kind == "fail":
+            rows.append((t, f"fail: {ev.get('error_kind')}"))
+        elif kind == "cancel":
+            rows.append((t, f"cancel: {ev.get('reason')}"))
+        elif kind and kind.startswith("sched."):
+            detail = {k: v for k, v in ev.items()
+                      if k not in ("event", "seq", "t", "jseq", "trace_id",
+                                   "job_id")}
+            rows.append((t, f"[{kind}] " + " ".join(
+                f"{k}={v}" for k, v in sorted(detail.items()))))
+    for i, (t, text) in enumerate(rows):
+        branch = "└─" if i == len(rows) - 1 else "├─"
+        lines.append(f"{branch} {t:>12.6f}s  {text}")
+    p = doc["phases"]
+    if doc.get("e2e") is not None:
+        lines.append(f"   e2e {_fmt_s(doc['e2e'])} = "
+                     f"queued {_fmt_s(p['queued'])} + "
+                     f"backoff {_fmt_s(p['backoff'])} + "
+                     f"compute {_fmt_s(p['compute'])}")
+    return lines

@@ -1,0 +1,83 @@
+"""CSV export: round-trip against registry_to_dict, label escaping."""
+
+from __future__ import annotations
+
+import csv
+
+from repro.observability import MetricsRegistry, registry_to_dict, write_csv
+
+
+def read_rows(path):
+    with open(path, "r", encoding="utf-8", newline="") as fh:
+        return list(csv.reader(fh))
+
+
+def test_csv_round_trips_against_json_export(tmp_path):
+    r = MetricsRegistry()
+    r.inc("jobs", 2.0, strategy="sampling")
+    r.inc("jobs", 1.0, strategy="edge-parallel")
+    r.set_gauge("queue.depth", 5.0)
+    r.observe("latency", 0.5, buckets=(0.25, 1.0), tenant="acme")
+    r.observe("latency", 3.0, buckets=(0.25, 1.0), tenant="acme")
+    out = tmp_path / "metrics.csv"
+    write_csv(str(out), r)
+    rows = read_rows(str(out))
+    assert rows[0] == ["kind", "name", "labels", "field", "value"]
+    body = rows[1:]
+
+    doc = registry_to_dict(r)
+    # Every counter/gauge value in the JSON export appears as a CSV row
+    # with identical labels, and vice versa (value cells are strings).
+    csv_counters = {(n, labels): v for kind, n, labels, field, v in body
+                    if kind == "counter"}
+    for c in doc["counters"]:
+        labels = ";".join(f"{k}={v}"
+                          for k, v in sorted(c["labels"].items()))
+        assert csv_counters[(c["name"], labels)] == str(c["value"])
+    assert len(csv_counters) == len(doc["counters"]) == 2
+    gauge = [r_ for r_ in body if r_[0] == "gauge"]
+    assert gauge == [["gauge", "queue.depth", "", "value", "5.0"]]
+
+    # Histogram: one bucket<= row per bound plus the +inf tail, then
+    # count and sum — matching the JSON histogram's counts exactly.
+    h = doc["histograms"][0]
+    hrows = [r_ for r_ in body if r_[0] == "histogram"]
+    bucket_rows = [r_ for r_ in hrows if r_[3].startswith("bucket<=")]
+    assert [int(float(r_[4])) for r_ in bucket_rows] == h["counts"]
+    assert len(bucket_rows) == len(h["buckets"]) + 1
+    assert bucket_rows[-1][3] == "bucket<=inf"
+    assert [r_ for r_ in hrows if r_[3] == "count"][0][4] == "2"
+    assert float([r_ for r_ in hrows
+                  if r_[3] == "sum"][0][4]) == 3.5
+
+    # Row order is deterministic: two identical registries, same bytes.
+    r2 = MetricsRegistry()
+    r2.inc("jobs", 2.0, strategy="sampling")
+    r2.inc("jobs", 1.0, strategy="edge-parallel")
+    r2.set_gauge("queue.depth", 5.0)
+    r2.observe("latency", 0.5, buckets=(0.25, 1.0), tenant="acme")
+    r2.observe("latency", 3.0, buckets=(0.25, 1.0), tenant="acme")
+    out2 = tmp_path / "metrics2.csv"
+    write_csv(str(out2), r2)
+    assert out.read_bytes() == out2.read_bytes()
+
+
+def test_csv_escapes_awkward_label_values(tmp_path):
+    r = MetricsRegistry()
+    r.inc("n", 1.0, graph='com,ma"quote', note="semi;colon")
+    out = tmp_path / "metrics.csv"
+    write_csv(str(out), r)
+    rows = read_rows(str(out))
+    # csv.reader undoes the quoting: the labels cell survives commas,
+    # quotes, and the ;-joiner collisions intact.
+    labels = rows[1][2]
+    assert 'graph=com,ma"quote' in labels
+    assert "note=semi;colon" in labels
+    assert rows[1][0] == "counter" and rows[1][4] == "1.0"
+
+
+def test_csv_empty_registry_is_header_only(tmp_path):
+    out = tmp_path / "empty.csv"
+    write_csv(str(out), MetricsRegistry())
+    rows = read_rows(str(out))
+    assert rows == [["kind", "name", "labels", "field", "value"]]

@@ -23,6 +23,7 @@ from repro.service import (
     verify_journal,
 )
 from repro.service.storage import ServiceStorage, SimulatedCrash
+from repro.telemetry import verify_events
 
 pytestmark = pytest.mark.service
 
@@ -78,14 +79,18 @@ def test_crash_grid_over_every_storage_op(tmp_path):
     for k in range(1, total_ops + 1):
         root = tmp_path / f"crash{k}"
         crashed = False
-        svc = open_service(root, ServiceStorage(crash_after=k))
+        svc = None
         try:
+            # The telemetry reconcile writes events during open, so the
+            # crash can land inside the constructor itself.
+            svc = open_service(root, ServiceStorage(crash_after=k))
             drive(svc)
             harvest(svc)            # result() reads may recompute/write
             svc.close()
         except SimulatedCrash:
             crashed = True
-            svc.abandon()
+            if svc is not None:
+                svc.abandon()
         # A healthy reopen replays whatever survived; resubmitting the
         # full workload is idempotent (content dedupe) and restores any
         # spec whose submit never reached the disk.
@@ -94,6 +99,12 @@ def test_crash_grid_over_every_storage_op(tmp_path):
             states, blobs = harvest(svc2)
             assert states == ref_states, (k, crashed)
             assert blobs == ref_blobs, (k, crashed)
+            # Telemetry exactly-once: after the healthy reopen, every
+            # journal record has exactly one event (reconcile filled
+            # any hole the crash tore; nothing is mirrored twice).
+            tele = verify_events(str(root / "events.jsonl"),
+                                 journal_records=svc2.journal.records)
+            assert tele["ok"], (k, crashed, tele["problems"])
         report = verify_journal(str(root / "journal.jsonl"))
         assert report["ok"], (k, report["problems"])
     # the grid must actually have crashed somewhere in the middle
